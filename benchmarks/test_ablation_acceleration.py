@@ -1,0 +1,84 @@
+"""Ablation: chaotic iteration vs centralized acceleration (paper §7).
+
+The paper's related-work section conjectures that "the asynchronous
+iteration may converge more rapidly than the acceleration methods
+studied in [14]" (Kamvar et al.'s extrapolation).  This benchmark runs
+the honest comparison on a §4.1 graph:
+
+* plain synchronous power iteration (the R_c solver);
+* Aitken Δ² extrapolation;
+* Kamvar-style quadratic extrapolation;
+* the chaotic distributed engine at matched solution quality.
+
+Measured finding: on power-law web graphs the extrapolants do *not*
+reduce sweep counts (the error spectrum carries several complex modes
+of magnitude ≈ d, which single-real-mode extrapolation overcorrects),
+while the chaotic engine reaches working accuracy in a comparable
+number of passes with zero synchronization — supporting the paper's
+conjecture.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.analysis import format_table
+from repro.core import (
+    ChaoticPagerank,
+    aitken_pagerank,
+    pagerank_reference,
+    quadratic_extrapolation_pagerank,
+)
+from repro.graphs import broder_graph
+
+
+def test_ablation_acceleration(benchmark, record_table):
+    g = broder_graph(20_000, seed=BENCH_SEED)
+    tol = 1e-10
+
+    def run_all():
+        truth = pagerank_reference(g, tol=1e-14)
+        plain = pagerank_reference(g, tol=tol)
+        aitken = aitken_pagerank(g, tol=tol)
+        quad = quadratic_extrapolation_pagerank(g, tol=tol)
+        chaotic = ChaoticPagerank(g, epsilon=1e-4).run(keep_history=False)
+        return truth, plain, aitken, quad, chaotic
+
+    truth, plain, aitken, quad, chaotic = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    def err(ranks):
+        return float(np.max(np.abs(ranks - truth.ranks) / truth.ranks))
+
+    rows = [
+        ("plain power iteration", plain.iterations, f"{err(plain.ranks):.1e}", "global"),
+        ("Aitken extrapolation", aitken.iterations, f"{err(aitken.ranks):.1e}", "global"),
+        ("quadratic extrapolation [14]", quad.iterations, f"{err(quad.ranks):.1e}", "global"),
+        ("chaotic distributed (eps=1e-4)", chaotic.passes, f"{err(chaotic.ranks):.1e}", "none"),
+    ]
+    record_table(
+        "Ablation acceleration",
+        format_table(
+            ["method", "sweeps/passes", "max err vs truth", "synchronization"],
+            rows,
+            title="Centralized acceleration vs chaotic iteration (20k nodes)",
+        ),
+    )
+
+    # All centralized methods hit the same fixed point.
+    for result in (plain, aitken, quad):
+        assert result.converged
+        assert err(result.ranks) < 1e-6
+    # Extrapolation does not beat plain iteration here (paper's
+    # conjecture direction) — bound the regression loosely; the exact
+    # slowdown depends on how often a failed extrapolation resets the
+    # iterate history.
+    assert aitken.iterations <= 2 * plain.iterations
+    assert quad.iterations <= 3 * plain.iterations
+    assert aitken.iterations >= 0.9 * plain.iterations  # no magic wins either
+    # The chaotic engine reaches working accuracy in the same order of
+    # passes with zero synchronization.
+    assert chaotic.converged
+    assert err(chaotic.ranks) < 1e-2
+    assert chaotic.passes < 2 * plain.iterations

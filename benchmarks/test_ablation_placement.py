@@ -1,0 +1,93 @@
+"""Ablation: document placement and peer count (extends paper §6).
+
+The paper's future work asks whether link-aware document-to-peer
+mapping could reduce network overhead: only cross-peer links generate
+messages, so placements that co-locate linked documents save traffic.
+This benchmark measures update-message totals for
+
+* uniform random placement (the paper's methodology) at several peer
+  counts — fewer peers means more intra-peer (free) links;
+* GUID/consistent-hashing placement (what a real DHT does), which is
+  statistically equivalent to random;
+* an oracle link-clustered placement (greedy BFS blocks), a cheap
+  stand-in for the link-aware mapping the paper hypothesises.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.analysis import format_table
+from repro.core import ChaoticPagerank
+from repro.graphs import broder_graph
+from repro.p2p import (
+    DocumentPlacement,
+    P2PNetwork,
+    link_clustered_placement,
+    refine_placement,
+)
+
+
+def test_ablation_placement(benchmark, record_table):
+    g = broder_graph(10_000, seed=BENCH_SEED)
+    eps = 1e-3
+
+    def run(placement):
+        engine = ChaoticPagerank(
+            g, placement.assignment, num_peers=placement.num_peers, epsilon=eps
+        )
+        return engine.run(keep_history=False)
+
+    def build_all():
+        results = {}
+        for peers in (50, 500, 5000):
+            pl = DocumentPlacement.random(g.num_nodes, peers, seed=1)
+            results[f"random, {peers} peers"] = (pl, run(pl))
+        net = P2PNetwork(500)
+        pl_guid = net.place_documents(g.num_nodes, strategy="guid")
+        results["guid (consistent hash), 500 peers"] = (pl_guid, run(pl_guid))
+        pl_bfs = link_clustered_placement(g, 500, seed=2)
+        results["link-clustered (BFS), 500 peers"] = (pl_bfs, run(pl_bfs))
+        pl_ref = refine_placement(g, pl_bfs, seed=3)
+        results["BFS + gain refinement, 500 peers"] = (pl_ref, run(pl_ref))
+        return results
+
+    results = benchmark.pedantic(build_all, rounds=1, iterations=1)
+
+    rows = []
+    for label, (pl, report) in results.items():
+        net = P2PNetwork(pl.num_peers, pl, build_ring=False)
+        cross = net.cross_peer_edge_count(g)
+        rows.append(
+            (label, cross, report.total_messages, report.passes)
+        )
+    record_table(
+        "Ablation placement",
+        format_table(
+            ["placement", "cross-peer links", "messages", "passes"],
+            rows,
+            title=f"Placement vs update traffic (10k docs, eps={eps:g})",
+        ),
+    )
+
+    # Fewer peers -> more intra-peer links -> fewer messages.
+    assert (
+        results["random, 50 peers"][1].total_messages
+        < results["random, 500 peers"][1].total_messages
+        < results["random, 5000 peers"][1].total_messages
+    )
+    # GUID placement is statistically equivalent to random.
+    r500 = results["random, 500 peers"][1].total_messages
+    guid = results["guid (consistent hash), 500 peers"][1].total_messages
+    assert abs(guid - r500) / r500 < 0.15
+    # Link-clustering answers the paper's future-work question: yes,
+    # link-aware mapping cuts traffic materially.
+    clustered = results["link-clustered (BFS), 500 peers"][1].total_messages
+    assert clustered < 0.9 * r500
+    # ...and local-search refinement buys a further cut.
+    refined = results["BFS + gain refinement, 500 peers"][1].total_messages
+    assert refined < clustered
+    # All placements converge to the same ranks regardless.
+    base = results["random, 500 peers"][1].ranks
+    for label, (_, report) in results.items():
+        assert np.allclose(report.ranks, base, rtol=1e-6), label

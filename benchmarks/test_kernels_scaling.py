@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the computational kernels.
+
+These are the pieces whose cost the paper's Eq. 4 folds into the
+per-pass compute term C_p (estimated at about a minute for the 5000k
+graph on 2003 hardware): one pull pass over all links, the reference
+solve, and graph synthesis.  Tracked so performance regressions in the
+vectorized kernels are caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChaoticPagerank, EdgeWorkspace, pagerank_reference
+from repro.graphs import broder_graph
+
+
+@pytest.fixture(scope="module")
+def graph100k():
+    return broder_graph(100_000, seed=0)
+
+
+def test_bench_pull_pass(benchmark, graph100k):
+    """One full pull pass over a 100k-node / ~250k-link graph."""
+    ws = EdgeWorkspace.from_graph(graph100k)
+    values = np.ones(graph100k.num_nodes)
+    out = np.empty_like(values)
+    benchmark(lambda: ws.pull(values, 0.85, out=out))
+
+
+def test_bench_reference_solver(benchmark, graph100k):
+    """Full synchronous solve at practical tolerance."""
+    benchmark.pedantic(
+        lambda: pagerank_reference(graph100k, tol=1e-10),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_bench_chaotic_run(benchmark, graph100k):
+    """Full distributed run at the paper's recommended eps."""
+    benchmark.pedantic(
+        lambda: ChaoticPagerank(graph100k, epsilon=1e-4).run(keep_history=False),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_bench_graph_synthesis(benchmark):
+    """Power-law graph generation throughput (100k nodes)."""
+    seeds = iter(range(10_000))
+    benchmark.pedantic(
+        lambda: broder_graph(100_000, seed=next(seeds)),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_reverse_build(benchmark, graph100k):
+    """Building the in-link CSR (needed once per reference solve)."""
+    def build():
+        # defeat the cache by constructing a fresh equal graph
+        g = type(graph100k)(graph100k.indptr, graph100k.indices, validate=False)
+        return g.reverse()
+
+    benchmark.pedantic(build, rounds=3, iterations=1)

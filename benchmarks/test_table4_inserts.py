@@ -1,0 +1,52 @@
+"""Regenerates paper Table 4: document-insert update propagation —
+mean path length and node coverage vs. threshold.
+
+Shape claims asserted (paper §4.7):
+* path length grows slowly (roughly additively per decade of eps);
+* node coverage grows rapidly (near-multiplicatively per decade) until
+  it saturates against hub absorption / graph size;
+* both are largely independent of graph size relative to their growth
+  in eps (the scalability argument: inserting a document costs the
+  same on a 10k and a 5000k network).
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SEED
+from repro.analysis import INSERT_THRESHOLDS, table4
+
+
+def test_table4_insert_propagation(benchmark, bench_sizes, record_table):
+    result = benchmark.pedantic(
+        lambda: table4(
+            bench_sizes,
+            thresholds=INSERT_THRESHOLDS,
+            samples=200,
+            seed=BENCH_SEED,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_table("Table 4 inserts", result.render())
+
+    for size in bench_sizes:
+        paths = [result.path_length[(size, e)] for e in INSERT_THRESHOLDS]
+        covs = [result.coverage[(size, e)] for e in INSERT_THRESHOLDS]
+
+        # Monotone growth with tighter eps.
+        assert all(a <= b + 1e-9 for a, b in zip(paths, paths[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(covs, covs[1:]))
+
+        # Path length stays short at loose thresholds (paper: 2-3).
+        assert paths[0] < 8.0
+
+        # Coverage at the loosest threshold is tiny (paper: 14-34).
+        assert covs[0] < 100
+
+        # Coverage grows much faster than path length.
+        assert covs[-1] / max(covs[0], 1) > paths[-1] / max(paths[0], 1)
+
+    # Size-independence: path length varies mildly across sizes.
+    for eps in (1e-2, 1e-4):
+        vals = [result.path_length[(s, eps)] for s in bench_sizes]
+        assert max(vals) / max(min(vals), 1e-9) < 3.0

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Dynamic P2P behaviour: churn, document inserts and deletes (paper §3).
+
+Demonstrates the three dynamic claims of the paper:
+
+* the computation converges even when only half the peers are present
+  at any time, at roughly a 2x pass cost (Table 1's dynamic columns),
+  because §3.1's store-and-resend loses no updates;
+* a freshly inserted document integrates by local increment
+  propagation — no global recompute (§4.7);
+* deletions reconverge the same way (with this library's out-degree
+  correction; see ``delete_document``'s docstring).
+
+Run:  python examples/churn_and_dynamics.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import (
+    ChaoticPagerank,
+    delete_document,
+    insert_document,
+    pagerank_reference,
+)
+from repro.graphs import broder_graph
+from repro.p2p import DocumentPlacement, FixedFractionChurn, MarkovChurn
+
+
+def main() -> None:
+    num_docs, num_peers, eps = 5_000, 100, 1e-3
+    graph = broder_graph(num_docs, seed=0)
+    placement = DocumentPlacement.random(num_docs, num_peers, seed=1)
+    engine = ChaoticPagerank(
+        graph, placement.assignment, num_peers=num_peers, epsilon=eps
+    )
+
+    print(f"{num_docs:,} documents on {num_peers} peers, eps={eps:g}\n")
+
+    rows = []
+    scenarios = [
+        ("100% peers present", None),
+        ("75% present (random each pass)", FixedFractionChurn(num_peers, 0.75, seed=2)),
+        ("50% present (random each pass)", FixedFractionChurn(num_peers, 0.50, seed=3)),
+        ("Markov churn (75% stationary)", MarkovChurn(num_peers, 0.1, 0.3, seed=4)),
+    ]
+    for label, availability in scenarios:
+        report = engine.run(availability=availability, max_passes=50_000)
+        rows.append((label, report.passes, report.total_messages,
+                     "yes" if report.converged else "NO"))
+    print(format_table(
+        ["Scenario", "passes", "messages", "converged"],
+        rows,
+        title="Convergence under churn (cf. paper Table 1)",
+    ))
+
+    # ---- document lifecycle ------------------------------------------
+    print("\nDocument lifecycle: insert five documents, delete five ...")
+    ranks = pagerank_reference(graph).ranks
+    g = graph
+    rng = np.random.default_rng(5)
+    total_insert_msgs = 0
+    for _ in range(5):
+        links = rng.choice(g.num_nodes, size=4, replace=False)
+        g, ranks, prop = insert_document(g, links.tolist(), ranks, epsilon=eps)
+        total_insert_msgs += prop.messages
+    total_delete_msgs = 0
+    for _ in range(5):
+        victim = int(rng.integers(0, g.num_nodes))
+        g, ranks, prop = delete_document(g, victim, ranks, epsilon=eps)
+        total_delete_msgs += prop.messages
+
+    ref = pagerank_reference(g).ranks
+    rel = np.abs(ranks - ref) / np.abs(ref)
+    print(f"  insert traffic: {total_insert_msgs} messages total "
+          f"(a full recompute costs ~{engine.run(keep_history=False).total_messages:,})")
+    print(f"  delete traffic: {total_delete_msgs} messages total")
+    print(f"  rank error vs full recompute after 10 mutations: "
+          f"median {np.median(rel):.2e}, p99 {np.percentile(rel, 99):.2e}")
+    print("\nNo global recompute was needed at any point — the paper's §3.1 claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Web-server-scale extrapolation (paper §4.6.2, §8).
+
+The paper closes by asking whether web servers themselves could compute
+pageranks cooperatively, replacing the crawl-and-central-solve cycle.
+Its feasibility argument rests on two measured facts: messages per
+document are nearly independent of graph size (Table 3), and the
+per-pass time model (Eq. 4) is communication-bound.  This script
+re-measures messages-per-document on synthetic graphs of increasing
+size, shows the size-independence, and extrapolates to the 3-billion-
+document Internet over T3-class links — plus the §5 crawler comparison.
+
+Run:  python examples/internet_scale_estimate.py
+"""
+
+from repro.analysis import format_table
+from repro.core import ChaoticPagerank
+from repro.crawler import amortized_comparison, crawl_costs
+from repro.graphs import broder_graph
+from repro.p2p import DocumentPlacement
+from repro.simulation import (
+    RATE_32KBPS,
+    RATE_200KBPS,
+    RATE_T3,
+    TransferModel,
+    internet_scale_estimate,
+    total_time_serialized,
+)
+
+
+def main() -> None:
+    eps = 1e-3
+    print(f"Measuring messages/document at eps={eps:g} across graph sizes ...\n")
+    rows = []
+    per_doc = 0.0
+    last_report = None
+    last_graph = None
+    for size in (5_000, 20_000, 80_000):
+        graph = broder_graph(size, seed=0)
+        placement = DocumentPlacement.random(size, 500, seed=1)
+        report = ChaoticPagerank(
+            graph, placement.assignment, num_peers=500, epsilon=eps
+        ).run(keep_history=False)
+        per_doc = report.messages_per_document
+        hours_32 = total_time_serialized(
+            report.total_messages, TransferModel(RATE_32KBPS)
+        ) / 3600
+        hours_200 = total_time_serialized(
+            report.total_messages, TransferModel(RATE_200KBPS)
+        ) / 3600
+        rows.append((size, report.passes, report.total_messages,
+                     f"{per_doc:.1f}", f"{hours_32:.2f}", f"{hours_200:.2f}"))
+        last_report, last_graph = report, graph
+    print(format_table(
+        ["docs", "passes", "messages", "msgs/doc", "hrs @32KB/s", "hrs @200KB/s"],
+        rows,
+        title="Message traffic scaling (cf. paper Table 3)",
+    ))
+
+    days = internet_scale_estimate(per_doc, num_documents=3e9)
+    print(f"\nExtrapolation: 3e9 documents x {per_doc:.1f} msgs/doc over a "
+          f"T3 ({RATE_T3 / 2**20:.1f} MB/s):")
+    print(f"  estimated convergence time ~ {days:.1f} days "
+          "(the paper estimates 14-35 days depending on eps)")
+
+    print("\nCrawler alternative (paper section 5), for the largest graph above:")
+    costs = crawl_costs(last_graph, last_report.total_messages)
+    rows = [
+        ("naive crawler (fetch all documents)", f"{costs.naive_crawler_bytes / 2**20:.1f} MB"),
+        ("link-structure crawler + redistribute", f"{costs.link_crawler_bytes / 2**20:.1f} MB"),
+        ("distributed pagerank (update messages)", f"{costs.distributed_bytes / 2**20:.1f} MB"),
+    ]
+    print(format_table(["Design", "bytes moved per computation"], rows))
+    amortized = amortized_comparison(
+        costs, recompute_cycles=12, incremental_bytes_per_cycle=costs.distributed_bytes * 0.01
+    )
+    print("\nOver 12 update cycles (crawlers recrawl, distributed updates "
+          "incrementally):")
+    for k, v in amortized.items():
+        print(f"  {k:<42} {v / 2**20:10.1f} MB")
+
+
+if __name__ == "__main__":
+    main()

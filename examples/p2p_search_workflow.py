@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Full P2P keyword-search workflow (paper §2.4, §4.9).
+
+The scenario the paper's introduction motivates: documents on a P2P
+network need ranked keyword search without flooding the network with
+hit lists.  This script runs the whole stack —
+
+1. synthesise a news-like corpus with a power-law link structure;
+2. compute pageranks with the *distributed* scheme over 50 peers;
+3. build the DHT-partitioned inverted index with a pagerank column;
+4. run two- and three-word queries under four strategies: the
+   full-forwarding baseline, incremental top-10 % and top-20 %
+   forwarding (Table 6), and Bloom-assisted intersection composed with
+   top-10 % forwarding (§2.4.3's "further reduction").
+
+Run:  python examples/p2p_search_workflow.py
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import ChaoticPagerank
+from repro.p2p import DocumentPlacement
+from repro.search import (
+    CorpusConfig,
+    DistributedIndex,
+    baseline_search,
+    bloom_search,
+    generate_queries,
+    incremental_search,
+    synthesize_corpus,
+)
+
+DOC_ID_BYTES = 16  # 128-bit GUIDs, the paper's message accounting
+
+
+def main() -> None:
+    # A scaled-down corpus (the paper's is 11,000 docs / 1880 terms).
+    cfg = CorpusConfig(
+        num_documents=3_000,
+        vocab_size=800,
+        num_stopwords=60,
+        raw_vocab_size=8_000,
+        mean_terms_per_doc=500.0,
+    )
+    print("Synthesising corpus and link structure ...")
+    corpus = synthesize_corpus(cfg, seed=0)
+
+    print("Computing pageranks with the distributed scheme (50 peers) ...")
+    placement = DocumentPlacement.random(corpus.num_documents, 50, seed=1)
+    report = ChaoticPagerank(
+        corpus.link_graph, placement.assignment, num_peers=50, epsilon=1e-4
+    ).run()
+    print(f"  converged in {report.passes} passes, "
+          f"{report.total_messages:,} update messages")
+
+    print("Building the distributed inverted index ...")
+    index = DistributedIndex(corpus, report.ranks, num_peers=50)
+
+    rows = []
+    for arity in (2, 3):
+        queries = generate_queries(
+            corpus, num_queries=20, terms_per_query=arity, seed=arity
+        )
+        base_traffic, inc10, inc20, bloom_bytes, base_bytes = 0, 0, 0, 0, 0
+        hits = {"base": [], "10%": [], "20%": []}
+        for q in queries:
+            b = baseline_search(index, q)
+            i10 = incremental_search(index, q, fraction=0.1)
+            i20 = incremental_search(index, q, fraction=0.2)
+            bl = bloom_search(index, q, fraction=0.1)
+            base_traffic += b.traffic_doc_ids
+            inc10 += i10.traffic_doc_ids
+            inc20 += i20.traffic_doc_ids
+            bloom_bytes += bl.traffic_bytes
+            base_bytes += b.traffic_doc_ids * DOC_ID_BYTES
+            hits["base"].append(b.num_hits)
+            hits["10%"].append(i10.num_hits)
+            hits["20%"].append(i20.num_hits)
+        rows.append((
+            f"{arity}-term",
+            f"{base_traffic / max(inc10, 1):.1f}x",
+            f"{base_traffic / max(inc20, 1):.1f}x",
+            f"{base_bytes / max(bloom_bytes, 1):.1f}x",
+            f"{np.mean(hits['base']):.0f}",
+            f"{np.mean(hits['10%']):.0f}",
+        ))
+
+    print()
+    print(format_table(
+        ["Queries", "top-10% redu.", "top-20% redu.",
+         "bloom+10% redu. (bytes)", "baseline hits", "top-10% hits"],
+        rows,
+        title="Search traffic reduction (cf. paper Table 6)",
+    ))
+    print("\nThe paper reports ~12x (top-10%) and ~6.5x (top-20%) on its "
+          "11k-document corpus; Bloom composition buys a further byte-level win.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments without the ``wheel``
+package (PEP 660 editable builds need it, the legacy develop path does
+not).
+"""
+
+from setuptools import setup
+
+setup()

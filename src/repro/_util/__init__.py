@@ -1,0 +1,40 @@
+"""Internal utilities shared across the :mod:`repro` package.
+
+Nothing in here is part of the public API; downstream users should not
+import from :mod:`repro._util` directly.  The helpers are grouped by
+concern:
+
+``rng``
+    Deterministic random-number-generator plumbing.  Every stochastic
+    component in the library accepts a ``seed`` (or ``rng``) argument
+    and routes it through :func:`repro._util.rng.as_generator` so that
+    experiments are exactly reproducible.
+
+``validation``
+    Small argument-checking helpers that raise consistent, descriptive
+    exceptions.  Hot paths validate once at the boundary and then trust
+    their inputs, per the "validate at the edges" idiom.
+
+``timers``
+    Lightweight wall-clock timers used by the simulation engines to
+    report per-pass cost without dragging in a profiler dependency.
+"""
+
+from repro._util.rng import as_generator, spawn_generators
+from repro._util.timers import Timer
+from repro._util.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_threshold,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "Timer",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_threshold",
+]

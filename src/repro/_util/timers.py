@@ -1,0 +1,53 @@
+"""Lightweight wall-clock timing for simulation passes.
+
+The hpc-parallel guideline is "no optimisation without measuring"; the
+simulation engines wrap each pass in a :class:`Timer` so per-pass cost
+is always available in their metrics without requiring an external
+profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer usable as a context manager.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(10))
+    >>> t.count
+    1
+    >>> t.total >= 0.0
+    True
+    """
+
+    total: float = 0.0
+    count: int = 0
+    last: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.last = time.perf_counter() - self._start
+        self.total += self.last
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed block (0.0 if never used)."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Zero all accumulated statistics."""
+        self.total = 0.0
+        self.count = 0
+        self.last = 0.0

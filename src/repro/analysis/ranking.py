@@ -1,0 +1,75 @@
+"""Rank-ordering quality metrics.
+
+Table 2 measures *value* error, but what keyword search consumes is the
+*ordering* of documents (§2.4.2 sorts hit lists by pagerank) — a result
+can be several percent off in value yet order-identical where it
+matters.  These metrics quantify that directly:
+
+* :func:`top_k_overlap` — fraction of the reference's top-k the
+  distributed result also puts in its top-k (the hits a §2.4.3 search
+  would actually forward);
+* :func:`kendall_tau` — global pairwise-order agreement (via scipy);
+* :func:`precision_at_k` — for search outcomes: how much of the
+  baseline's rank-ordered top-k an approximate scheme returned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top_k_overlap", "kendall_tau", "precision_at_k"]
+
+
+def top_k_overlap(approx: np.ndarray, reference: np.ndarray, k: int) -> float:
+    """|top-k(approx) ∩ top-k(reference)| / k.
+
+    Parameters
+    ----------
+    approx, reference:
+        Score vectors of equal length (higher = better).
+    k:
+        Prefix size; clipped to the vector length.
+    """
+    approx = np.asarray(approx)
+    reference = np.asarray(reference)
+    if approx.shape != reference.shape or approx.ndim != 1:
+        raise ValueError("approx and reference must be equal-length 1-D arrays")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    k = min(k, approx.size)
+    if k == 0:
+        return 1.0
+    top_a = set(np.argpartition(-approx, k - 1)[:k].tolist())
+    top_r = set(np.argpartition(-reference, k - 1)[:k].tolist())
+    return len(top_a & top_r) / k
+
+
+def kendall_tau(approx: np.ndarray, reference: np.ndarray) -> float:
+    """Kendall's tau-b between two score vectors (1.0 = same order)."""
+    from scipy.stats import kendalltau
+
+    approx = np.asarray(approx)
+    reference = np.asarray(reference)
+    if approx.shape != reference.shape or approx.ndim != 1:
+        raise ValueError("approx and reference must be equal-length 1-D arrays")
+    if approx.size < 2:
+        return 1.0
+    tau, _ = kendalltau(approx, reference)
+    return float(tau)
+
+
+def precision_at_k(returned: np.ndarray, ideal: np.ndarray, k: int) -> float:
+    """Fraction of the ideal top-k present in the first k returned.
+
+    Both arguments are document-id sequences already in ranked order
+    (e.g. ``SearchOutcome.hits``); the ideal is typically the baseline
+    search's result for the same query.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    returned = np.asarray(returned)
+    ideal = np.asarray(ideal)
+    k = min(k, ideal.size)
+    if k == 0:
+        return 1.0
+    return len(set(returned[:k].tolist()) & set(ideal[:k].tolist())) / k

@@ -1,0 +1,89 @@
+"""Plain-text table rendering for the experiment drivers.
+
+The benchmark harness prints the same rows the paper's tables report;
+this module is the one formatter they all share, so every table in the
+output reads consistently and EXPERIMENTS.md can paste them verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_value", "format_table"]
+
+
+def format_value(value, *, precision: int = 3) -> str:
+    """Human-friendly cell formatting.
+
+    Floats use general formatting with the given significant digits
+    (scientific for very small/large magnitudes, as in the paper's
+    error tables); ints print with thousands grouping; NumPy scalars
+    format like their Python equivalents; everything else via ``str``.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return str(bool(value))
+    if isinstance(value, np.integer):
+        value = int(value)
+    elif isinstance(value, np.floating):
+        value = float(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        a = abs(value)
+        if a >= 1e5 or a < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row value sequences (formatted with :func:`format_value`).
+    title:
+        Optional title line above the table.
+    precision:
+        Significant digits for float cells.
+
+    Returns
+    -------
+    str
+        The rendered table, newline-joined, no trailing newline.
+    """
+    str_rows: List[List[str]] = [
+        [format_value(v, precision=precision) for v in row] for row in rows
+    ]
+    ncols = len(headers)
+    for r in str_rows:
+        if len(r) != ncols:
+            raise ValueError(
+                f"row has {len(r)} cells, expected {ncols}: {r!r}"
+            )
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(ncols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[c]) for c, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for r in str_rows:
+        lines.append("  ".join(r[c].rjust(widths[c]) for c in range(ncols)))
+    return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Five commands cover the library's main entry points without writing
+any Python:
+
+``pagerank``
+    Run the distributed computation on a synthetic §4.1 graph and
+    report convergence, traffic, and quality vs the reference.
+``table``
+    Regenerate one of the paper's evaluation tables (1-6).
+``report``
+    Regenerate every table (plus the §4.3 trajectory) in one run.
+``figure2``
+    Execute the paper's Figure 2 worked example.
+``search``
+    Run the Table 6 search-traffic experiment at custom scale.
+
+All commands accept ``--seed`` and print plain-text tables; exit code
+0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed PageRank for P2P Systems (HPDC 2003) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("pagerank", help="run distributed pagerank on a synthetic graph")
+    p.add_argument("--docs", type=int, default=10_000, help="number of documents")
+    p.add_argument("--peers", type=int, default=500, help="number of peers")
+    p.add_argument("--epsilon", type=float, default=1e-4, help="convergence threshold")
+    p.add_argument("--damping", type=float, default=0.85)
+    p.add_argument("--availability", type=float, default=1.0,
+                   help="fraction of peers present per pass (Table 1 churn)")
+    p.add_argument("--seed", type=int, default=0)
+
+    t = sub.add_parser("table", help="regenerate a paper table")
+    t.add_argument("number", type=int, choices=range(1, 7), help="table number (1-6)")
+    t.add_argument("--sizes", type=int, nargs="+", default=None,
+                   help="graph sizes (default: scaled; REPRO_FULL_SCALE honoured)")
+    t.add_argument("--peers", type=int, default=500)
+    t.add_argument("--samples", type=int, default=200,
+                   help="insert samples for table 4")
+    t.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("figure2", help="run the paper's Figure 2 example")
+
+    r = sub.add_parser("report", help="regenerate every paper table in one run")
+    r.add_argument("--sizes", type=int, nargs="+", default=None)
+    r.add_argument("--peers", type=int, default=500)
+    r.add_argument("--samples", type=int, default=200)
+    r.add_argument("--out", type=str, default=None, help="also write to this file")
+    r.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("search", help="run the incremental-search experiment")
+    s.add_argument("--docs", type=int, default=11_000)
+    s.add_argument("--peers", type=int, default=50)
+    s.add_argument("--queries", type=int, default=20, help="queries per arity")
+    s.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_pagerank(args) -> int:
+    from repro.analysis import error_distribution, format_table
+    from repro.core import ChaoticPagerank, pagerank_reference
+    from repro.graphs import broder_graph
+    from repro.p2p import DocumentPlacement, FixedFractionChurn
+
+    graph = broder_graph(args.docs, seed=args.seed)
+    placement = DocumentPlacement.random(args.docs, args.peers, seed=args.seed + 1)
+    engine = ChaoticPagerank(
+        graph,
+        placement.assignment,
+        num_peers=args.peers,
+        epsilon=args.epsilon,
+        damping=args.damping,
+    )
+    availability = (
+        None
+        if args.availability >= 1.0
+        else FixedFractionChurn(args.peers, args.availability, seed=args.seed + 2)
+    )
+    report = engine.run(availability=availability, keep_history=False)
+    reference = pagerank_reference(graph, damping=args.damping)
+    dist = error_distribution(report.ranks, reference.ranks)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("documents", args.docs),
+                ("peers", args.peers),
+                ("epsilon", args.epsilon),
+                ("availability", args.availability),
+                ("converged", str(report.converged)),
+                ("passes", report.passes),
+                ("update messages", report.total_messages),
+                ("messages/document", report.messages_per_document),
+                ("p99 error vs R_c", dist.percentile_errors[99.0]),
+                ("max error vs R_c", dist.max_error),
+            ],
+            title="Distributed pagerank run",
+        )
+    )
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.analysis import table1, table2, table3, table4, table5, table6
+
+    if args.number == 1:
+        print(table1(args.sizes, num_peers=args.peers, seed=args.seed).render())
+    elif args.number == 2:
+        print(table2(args.sizes, num_peers=args.peers, seed=args.seed).render())
+    elif args.number == 3:
+        print(table3(args.sizes, num_peers=args.peers, seed=args.seed).render())
+    elif args.number == 4:
+        print(table4(args.sizes, samples=args.samples, seed=args.seed).render())
+    elif args.number == 5:
+        t1 = table1(args.sizes, num_peers=args.peers, seed=args.seed)
+        t2 = table2(
+            args.sizes, thresholds=(0.2, 1e-3, 1e-4), num_peers=args.peers,
+            seed=args.seed,
+        )
+        t3 = table3(
+            args.sizes, thresholds=(0.2, 1e-3, 1e-4), num_peers=args.peers,
+            seed=args.seed,
+        )
+        t4 = table4(
+            args.sizes, thresholds=(0.2, 1e-2, 1e-4), samples=args.samples,
+            seed=args.seed,
+        )
+        print(table5(t1, t2, t3, t4).render())
+    elif args.number == 6:
+        print(table6(seed=args.seed).render())
+    return 0
+
+
+def _cmd_figure2(args) -> int:
+    from repro.analysis import format_table
+    from repro.core import propagate_increment
+    from repro.graphs import figure2_graph
+
+    graph, idx = figure2_graph()
+    names = {v: k for k, v in idx.items()}
+    result = propagate_increment(graph, idx["G"], 1.0, damping=1.0, epsilon=0.01)
+    rows = [
+        (names[i], result.rank_delta[i])
+        for i in range(graph.num_nodes)
+        if result.rank_delta[i]
+    ]
+    print(
+        format_table(
+            ["document", "increment"],
+            rows,
+            title="Figure 2: insert increment propagation (d=1, eps=0.01)",
+        )
+    )
+    print(
+        f"path length={result.path_length} coverage={result.node_coverage} "
+        f"messages={result.messages}"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.analysis import generate_report
+
+    text = generate_report(
+        sizes=args.sizes,
+        num_peers=args.peers,
+        insert_samples=args.samples,
+        seed=args.seed,
+        out_path=args.out,
+    )
+    print(text)
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from repro.analysis import table6
+    from repro.search import CorpusConfig
+
+    cfg = CorpusConfig(num_documents=args.docs)
+    result = table6(
+        corpus_config=cfg,
+        num_peers=args.peers,
+        queries_per_arity=args.queries,
+        seed=args.seed,
+    )
+    print(result.render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "pagerank": _cmd_pagerank,
+        "table": _cmd_table,
+        "figure2": _cmd_figure2,
+        "report": _cmd_report,
+        "search": _cmd_search,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Centralized-crawler alternative (paper §5) — cost models comparing
+the distributed scheme against crawler-based central computation."""
+
+from repro.crawler.cost import (
+    DEFAULT_DOC_BYTES,
+    LINK_RECORD_BYTES,
+    RANK_RECORD_BYTES,
+    CrawlCosts,
+    amortized_comparison,
+    crawl_costs,
+)
+
+__all__ = [
+    "CrawlCosts",
+    "crawl_costs",
+    "amortized_comparison",
+    "DEFAULT_DOC_BYTES",
+    "LINK_RECORD_BYTES",
+    "RANK_RECORD_BYTES",
+]

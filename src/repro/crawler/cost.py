@@ -1,0 +1,129 @@
+"""Centralized-crawler alternative cost model (paper §5).
+
+The paper briefly weighs a centralized crawler against the distributed
+scheme on a P2P store.  Three designs are priced here, in bytes moved,
+so the §5 qualitative argument becomes a quantitative comparison:
+
+1. **naive crawler** — fetch every document to a central server
+   (the "undesirable" strawman: traffic = total corpus bytes per
+   recomputation cycle);
+2. **link crawler** — transmit only each document's link structure to
+   the server, compute centrally, redistribute the ranks (the paper's
+   "more efficient crawler");
+3. **distributed** — the paper's scheme: update messages only, priced
+   from a measured message count.
+
+The crawler designs pay their cost *per recomputation cycle* (the web
+practice the paper criticises: days-long recrawls), whereas the
+distributed scheme pays once to converge and then only incremental
+updates — :func:`amortized_comparison` exposes exactly that trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._util import check_positive
+from repro.graphs.linkgraph import LinkGraph
+from repro.p2p.messages import MESSAGE_SIZE_BYTES
+
+__all__ = ["CrawlCosts", "crawl_costs", "amortized_comparison"]
+
+#: Mean document size implied by the paper's corpus (99 MB / ~11,000
+#: documents ≈ 9 KB per document).
+DEFAULT_DOC_BYTES = 9_000
+
+#: Bytes to encode one link during a link-structure-only crawl: source
+#: and target GUIDs (2 × 128 bits).
+LINK_RECORD_BYTES = 32
+
+#: Bytes to redistribute one computed rank: GUID + value (the paper's
+#: update-message layout).
+RANK_RECORD_BYTES = MESSAGE_SIZE_BYTES
+
+
+@dataclass(frozen=True)
+class CrawlCosts:
+    """Bytes moved by each design for one full pagerank computation.
+
+    Attributes
+    ----------
+    naive_crawler_bytes:
+        Fetch every document to the central server.
+    link_crawler_bytes:
+        Ship link records in, redistribute ranks out.
+    distributed_bytes:
+        The distributed scheme's update-message traffic.
+    """
+
+    naive_crawler_bytes: int
+    link_crawler_bytes: int
+    distributed_bytes: int
+
+    @property
+    def naive_vs_distributed(self) -> float:
+        """How many times more traffic the naive crawler moves."""
+        return self.naive_crawler_bytes / max(self.distributed_bytes, 1)
+
+    @property
+    def link_vs_distributed(self) -> float:
+        """How many times more (or less) the link crawler moves."""
+        return self.link_crawler_bytes / max(self.distributed_bytes, 1)
+
+
+def crawl_costs(
+    graph: LinkGraph,
+    distributed_messages: int,
+    *,
+    mean_document_bytes: float = DEFAULT_DOC_BYTES,
+) -> CrawlCosts:
+    """Price all three designs for one full computation.
+
+    Parameters
+    ----------
+    graph:
+        The document link graph (node count and link count drive the
+        crawler costs).
+    distributed_messages:
+        Measured update-message total of a distributed run at the
+        chosen ε (e.g. ``RunReport.total_messages``).
+    mean_document_bytes:
+        Average document size for the naive design.
+    """
+    check_positive("mean_document_bytes", mean_document_bytes)
+    if distributed_messages < 0:
+        raise ValueError("distributed_messages must be >= 0")
+    n, e = graph.num_nodes, graph.num_edges
+    return CrawlCosts(
+        naive_crawler_bytes=int(n * mean_document_bytes),
+        link_crawler_bytes=int(e * LINK_RECORD_BYTES + n * RANK_RECORD_BYTES),
+        distributed_bytes=int(distributed_messages * MESSAGE_SIZE_BYTES),
+    )
+
+
+def amortized_comparison(
+    costs: CrawlCosts,
+    *,
+    recompute_cycles: int,
+    incremental_bytes_per_cycle: float = 0.0,
+) -> dict:
+    """Total bytes over ``recompute_cycles`` update periods.
+
+    Crawler designs repeat their full cost every cycle (the periodic
+    recrawl); the distributed scheme pays its full cost once, then only
+    the incremental insert/delete traffic per cycle (§3.1/§4.7) —
+    measured e.g. via :func:`repro.core.incremental.simulate_insert`
+    node-coverage totals.
+    """
+    if recompute_cycles < 1:
+        raise ValueError(f"recompute_cycles must be >= 1, got {recompute_cycles}")
+    if incremental_bytes_per_cycle < 0:
+        raise ValueError("incremental_bytes_per_cycle must be >= 0")
+    return {
+        "naive_crawler_bytes": costs.naive_crawler_bytes * recompute_cycles,
+        "link_crawler_bytes": costs.link_crawler_bytes * recompute_cycles,
+        "distributed_bytes": int(
+            costs.distributed_bytes
+            + incremental_bytes_per_cycle * (recompute_cycles - 1)
+        ),
+    }

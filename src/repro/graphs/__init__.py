@@ -1,0 +1,67 @@
+"""Document link-graph substrate (paper §2.1, §4.1).
+
+Public surface:
+
+* :class:`~repro.graphs.linkgraph.LinkGraph` — immutable CSR digraph.
+* :func:`~repro.graphs.powerlaw.broder_graph` — the §4.1 power-law
+  web-like generator (Broder exponents 2.1 in / 2.4 out).
+* Named small graphs (:func:`figure2_graph`, fixtures) and simple
+  random models for tests and ablations.
+* Edge-list / npz IO and degree-distribution diagnostics.
+"""
+
+from repro.graphs.generators import (
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    figure2_graph,
+    gnp_random_graph,
+    star_graph,
+    two_peer_example,
+)
+from repro.graphs.io import (
+    from_networkx,
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+    to_networkx,
+)
+from repro.graphs.linkgraph import LinkGraph
+from repro.graphs.powerlaw import (
+    BRODER_IN_EXPONENT,
+    BRODER_OUT_EXPONENT,
+    PowerLawConfig,
+    broder_graph,
+    hosted_web_graph,
+    sample_power_law_degrees,
+)
+from repro.graphs.preferential import preferential_attachment_graph
+from repro.graphs.stats import DegreeFit, degree_histogram, fit_power_law_exponent
+
+__all__ = [
+    "LinkGraph",
+    "PowerLawConfig",
+    "broder_graph",
+    "hosted_web_graph",
+    "preferential_attachment_graph",
+    "sample_power_law_degrees",
+    "BRODER_IN_EXPONENT",
+    "BRODER_OUT_EXPONENT",
+    "figure2_graph",
+    "cycle_graph",
+    "chain_graph",
+    "star_graph",
+    "complete_graph",
+    "gnp_random_graph",
+    "two_peer_example",
+    "save_npz",
+    "load_npz",
+    "save_edge_list",
+    "load_edge_list",
+    "to_networkx",
+    "from_networkx",
+    "DegreeFit",
+    "degree_histogram",
+    "fit_power_law_exponent",
+]

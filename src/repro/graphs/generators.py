@@ -1,0 +1,129 @@
+"""Small named graphs and simple random-graph generators.
+
+These back the unit tests, the examples, and the paper's Figure 2
+micro-example.  The workhorse generator for the evaluation-scale
+experiments lives in :mod:`repro.graphs.powerlaw`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro._util import as_generator, check_probability
+from repro._util.rng import SeedLike
+from repro.graphs.linkgraph import LinkGraph
+
+__all__ = [
+    "figure2_graph",
+    "cycle_graph",
+    "chain_graph",
+    "star_graph",
+    "complete_graph",
+    "gnp_random_graph",
+    "two_peer_example",
+]
+
+
+def figure2_graph() -> Tuple[LinkGraph, Dict[str, int]]:
+    """The paper's Figure 2 graph, used for the insert-propagation demo.
+
+    Node ``G`` has three out-links (to ``H``, ``I``, ``J``), so each
+    receives a ``1/3`` share of G's unit rank; ``H`` has two out-links
+    (``K``, ``L``) forwarding ``1/6`` each; ``I`` links to ``M``
+    forwarding its full ``1/3`` share.  Returns the graph and the
+    name-to-index mapping so tests and examples can speak the paper's
+    labels.
+    """
+    names = ["G", "H", "I", "J", "K", "L", "M"]
+    idx = {name: i for i, name in enumerate(names)}
+    edges = [
+        (idx["G"], idx["H"]),
+        (idx["G"], idx["I"]),
+        (idx["G"], idx["J"]),
+        (idx["H"], idx["K"]),
+        (idx["H"], idx["L"]),
+        (idx["I"], idx["M"]),
+    ]
+    return LinkGraph.from_edges(edges, num_nodes=len(names)), idx
+
+
+def cycle_graph(n: int) -> LinkGraph:
+    """Directed cycle ``0 -> 1 -> ... -> n-1 -> 0``.
+
+    Every node has in/out degree 1, so the stationary pagerank is
+    uniform — a handy analytic fixture.
+    """
+    if n < 2:
+        raise ValueError(f"cycle needs n >= 2, got {n}")
+    src = np.arange(n, dtype=np.int64)
+    dst = (src + 1) % n
+    return LinkGraph._from_src_dst(src, dst, n)
+
+
+def chain_graph(n: int) -> LinkGraph:
+    """Directed path ``0 -> 1 -> ... -> n-1`` (last node dangling)."""
+    if n < 1:
+        raise ValueError(f"chain needs n >= 1, got {n}")
+    src = np.arange(n - 1, dtype=np.int64)
+    dst = src + 1
+    return LinkGraph._from_src_dst(src, dst, n)
+
+
+def star_graph(n: int, *, inward: bool = True) -> LinkGraph:
+    """Star on ``n`` nodes with hub 0.
+
+    ``inward=True`` (default): all leaves link to the hub, giving the
+    hub in-degree ``n-1`` — the classic "important page" fixture whose
+    pagerank dominates.  ``inward=False`` reverses all the edges.
+    """
+    if n < 2:
+        raise ValueError(f"star needs n >= 2, got {n}")
+    leaves = np.arange(1, n, dtype=np.int64)
+    hub = np.zeros(n - 1, dtype=np.int64)
+    if inward:
+        return LinkGraph._from_src_dst(leaves, hub, n)
+    return LinkGraph._from_src_dst(hub, leaves, n)
+
+
+def complete_graph(n: int) -> LinkGraph:
+    """Complete directed graph (no self-loops)."""
+    if n < 2:
+        raise ValueError(f"complete graph needs n >= 2, got {n}")
+    src = np.repeat(np.arange(n, dtype=np.int64), n - 1)
+    dst = np.concatenate([np.delete(np.arange(n, dtype=np.int64), i) for i in range(n)])
+    return LinkGraph._from_src_dst(src, dst, n)
+
+
+def gnp_random_graph(n: int, p: float, *, seed: SeedLike = None) -> LinkGraph:
+    """Directed Erdős–Rényi G(n, p) (no self-loops).
+
+    Not a web-like model — used in tests to exercise the engines on
+    structureless graphs and in ablations contrasting power-law with
+    homogeneous link structure.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    check_probability("p", p)
+    rng = as_generator(seed)
+    mask = rng.random((n, n)) < p
+    np.fill_diagonal(mask, False)
+    src, dst = np.nonzero(mask)
+    return LinkGraph._from_src_dst(src.astype(np.int64), dst.astype(np.int64), n)
+
+
+def two_peer_example() -> LinkGraph:
+    """Six-document fixture used across the unit tests.
+
+    Documents 0-2 are imagined on peer A and 3-5 on peer B, with a mix
+    of intra-peer links (free in the message model) and cross-peer
+    links (each generating update messages).
+    """
+    edges = [
+        (0, 1), (1, 2), (2, 0),          # triangle within peer A
+        (3, 4), (4, 5), (5, 3),          # triangle within peer B
+        (0, 3), (3, 0), (2, 5), (4, 1),  # cross-peer links
+        (0, 4),                          # asymmetric extra cross link
+    ]
+    return LinkGraph.from_edges(edges, num_nodes=6)

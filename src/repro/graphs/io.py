@@ -1,0 +1,102 @@
+"""Edge-list persistence for :class:`~repro.graphs.linkgraph.LinkGraph`.
+
+Two formats:
+
+* a compact ``.npz`` holding the raw CSR arrays (fast, lossless,
+  preferred for benchmark fixtures that are expensive to regenerate);
+* a plain-text edge list (one ``src dst`` pair per line, ``#`` comments
+  allowed) for interoperability with external tools.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.graphs.linkgraph import LinkGraph
+
+__all__ = [
+    "save_npz",
+    "load_npz",
+    "save_edge_list",
+    "load_edge_list",
+    "to_networkx",
+    "from_networkx",
+]
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_npz(graph: LinkGraph, path: PathLike) -> None:
+    """Save a graph's CSR arrays to a ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        indptr=graph.indptr,
+        indices=graph.indices,
+        num_nodes=np.int64(graph.num_nodes),
+    )
+
+
+def load_npz(path: PathLike) -> LinkGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    with np.load(path) as data:
+        return LinkGraph(
+            data["indptr"].copy(),
+            data["indices"].copy(),
+            int(data["num_nodes"]),
+        )
+
+
+def save_edge_list(graph: LinkGraph, path: PathLike) -> None:
+    """Write a plain-text edge list (``src dst`` per line)."""
+    edges = graph.edge_array()
+    header = f"document link graph: {graph.num_nodes} nodes, {graph.num_edges} edges"
+    np.savetxt(path, edges, fmt="%d", header=header)
+
+
+def load_edge_list(path: PathLike, num_nodes: int | None = None) -> LinkGraph:
+    """Read a plain-text edge list written by :func:`save_edge_list`.
+
+    ``num_nodes`` may be given explicitly for graphs with isolated
+    top-numbered nodes that never appear in any edge.
+    """
+    path = Path(path)
+    raw = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    if raw.size == 0:
+        raw = raw.reshape(0, 2)
+    return LinkGraph.from_edges(raw, num_nodes=num_nodes, dedupe=False)
+
+
+def to_networkx(graph: LinkGraph):
+    """Export as a :class:`networkx.DiGraph` (optional dependency).
+
+    Isolated nodes are preserved.  Useful for comparing against
+    networkx's own pagerank or visualising small fixtures.
+    """
+    import networkx as nx
+
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.num_nodes))
+    g.add_edges_from(graph.iter_edges())
+    return g
+
+
+def from_networkx(nx_graph) -> LinkGraph:
+    """Build a :class:`LinkGraph` from a networkx directed graph.
+
+    Node labels must be (or be convertible to) the integers
+    ``0 .. N-1``; use ``networkx.convert_node_labels_to_integers``
+    first for arbitrary labels.
+    """
+    n = nx_graph.number_of_nodes()
+    labels = sorted(int(v) for v in nx_graph.nodes)
+    if labels != list(range(n)):
+        raise ValueError(
+            "node labels must be the integers 0..N-1; relabel with "
+            "networkx.convert_node_labels_to_integers first"
+        )
+    edges = [(int(u), int(v)) for u, v in nx_graph.edges]
+    return LinkGraph.from_edges(edges, num_nodes=n)

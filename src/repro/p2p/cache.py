@@ -1,0 +1,117 @@
+"""IP-address caching of document locations (paper §3.2).
+
+On DHT systems without anonymity requirements, the first pagerank
+update for a document is routed through the DHT to discover which peer
+stores it; the discovered address is then cached at the sender and all
+later updates go direct.  Storage grows linearly with the sum of
+out-links in a peer's documents — exactly the bound the paper states.
+
+:class:`LocationCache` implements the scheme per sending peer and
+keeps the hit/miss/hop statistics the routing-overhead experiments
+report.  On Freenet-style systems the cache must be disabled
+(anonymity), which is the ``repro.p2p.routing.RoutedDelivery`` policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.p2p.chord import ChordRing
+from repro.p2p.guid import document_guid
+
+__all__ = ["CacheStats", "LocationCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one peer's location cache.
+
+    Attributes
+    ----------
+    hits:
+        Lookups answered from cache (direct send, no DHT traffic).
+    misses:
+        Lookups that had to route through the DHT.
+    routed_hops:
+        Total DHT hops paid across all misses.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    routed_hops: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LocationCache:
+    """Per-sender cache of document → peer locations.
+
+    Parameters
+    ----------
+    owner_peer:
+        The peer this cache belongs to (the start point of DHT routes).
+    ring:
+        The Chord ring used to resolve misses.
+    capacity:
+        Optional bound on cached entries (FIFO eviction).  ``None``
+        (default) is unbounded — the paper's scheme, whose state is
+        bounded by the peer's total out-links anyway.
+    """
+
+    def __init__(
+        self,
+        owner_peer: int,
+        ring: ChordRing,
+        *,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.owner_peer = owner_peer
+        self.ring = ring
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: Dict[int, int] = {}
+
+    def locate(self, doc: int) -> int:
+        """Peer currently responsible for ``doc``.
+
+        A cached answer costs nothing; a miss routes through the DHT
+        (hops recorded in :attr:`stats`) and populates the cache.
+        """
+        peer = self._entries.get(doc)
+        if peer is not None:
+            self.stats.hits += 1
+            return peer
+        result = self.ring.route(document_guid(doc), self.owner_peer)
+        self.stats.misses += 1
+        self.stats.routed_hops += result.hops
+        self._remember(doc, result.owner)
+        return result.owner
+
+    def invalidate(self, doc: int) -> None:
+        """Drop a cached location (e.g. after a failed direct send when
+        the target peer departed and its documents moved)."""
+        self._entries.pop(doc, None)
+
+    def seed(self, doc: int, peer: int) -> None:
+        """Pre-populate an entry without a lookup (used when placement
+        is known out of band, e.g. the simulator's global view)."""
+        self._remember(doc, peer)
+
+    def _remember(self, doc: int, peer: int) -> None:
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            # FIFO eviction: drop the oldest insertion.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[doc] = peer
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, doc: int) -> bool:
+        return doc in self._entries

@@ -1,0 +1,136 @@
+"""Peer availability (churn) models (paper §3.1, §4.3 "Dynamic effects").
+
+Table 1's dynamic columns hold a fixed *fraction* of peers present at
+any given time, with the membership re-randomised between passes ("in
+between such passes, sets of peers randomly leave and join").  The
+models here implement that and a couple of variants; all satisfy the
+:class:`repro.core.distributed.AvailabilityModel` protocol (a single
+``sample(pass_index) -> bool array`` method) and are deterministic
+given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import as_generator, check_fraction, check_probability
+from repro._util.rng import SeedLike
+
+__all__ = [
+    "AlwaysOn",
+    "FixedFractionChurn",
+    "IndependentChurn",
+    "MarkovChurn",
+]
+
+
+class AlwaysOn:
+    """All peers present every pass (Table 1's 100 % column)."""
+
+    def __init__(self, num_peers: int) -> None:
+        if num_peers < 1:
+            raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+        self._mask = np.ones(num_peers, dtype=bool)
+
+    def sample(self, pass_index: int) -> np.ndarray:
+        return self._mask
+
+
+class FixedFractionChurn:
+    """Exactly ``round(fraction * P)`` peers present, re-drawn each pass.
+
+    This is the paper's stated model for the 75 % / 50 % columns of
+    Table 1: a fixed fraction of randomly selected peers is available
+    at any given time.
+
+    Parameters
+    ----------
+    num_peers:
+        Total peer population.
+    fraction_present:
+        Fraction of peers up during any pass, in (0, 1].
+    seed:
+        Deterministic seed.
+    """
+
+    def __init__(self, num_peers: int, fraction_present: float, *, seed: SeedLike = None) -> None:
+        if num_peers < 1:
+            raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+        check_fraction("fraction_present", fraction_present)
+        self.num_peers = num_peers
+        self.fraction_present = float(fraction_present)
+        self._rng = as_generator(seed)
+        self._k = max(1, int(round(num_peers * fraction_present)))
+
+    def sample(self, pass_index: int) -> np.ndarray:
+        mask = np.zeros(self.num_peers, dtype=bool)
+        up = self._rng.choice(self.num_peers, size=self._k, replace=False)
+        mask[up] = True
+        return mask
+
+
+class IndependentChurn:
+    """Each peer present independently with probability ``p`` per pass.
+
+    A Bernoulli variant of :class:`FixedFractionChurn`; the live count
+    fluctuates around ``p·P``.  Useful in robustness tests where the
+    exact-count model would hide variance effects.
+    """
+
+    def __init__(self, num_peers: int, p_present: float, *, seed: SeedLike = None) -> None:
+        if num_peers < 1:
+            raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+        check_probability("p_present", p_present)
+        self.num_peers = num_peers
+        self.p_present = float(p_present)
+        self._rng = as_generator(seed)
+
+    def sample(self, pass_index: int) -> np.ndarray:
+        return self._rng.random(self.num_peers) < self.p_present
+
+
+class MarkovChurn:
+    """Two-state Markov churn: peers stay up/down for correlated spells.
+
+    Real P2P session times are heavy-tailed and correlated across
+    passes — a peer that is down tends to stay down a while.  Each peer
+    flips up→down with probability ``p_leave`` and down→up with
+    ``p_join`` per pass, giving stationary availability
+    ``p_join / (p_join + p_leave)`` with geometric spell lengths.  Used
+    by the churn-robustness ablation (the paper's model redraws
+    membership i.i.d.; this one is strictly harsher on store-and-resend
+    state).
+    """
+
+    def __init__(
+        self,
+        num_peers: int,
+        p_leave: float,
+        p_join: float,
+        *,
+        seed: SeedLike = None,
+        start_up: bool = True,
+    ) -> None:
+        if num_peers < 1:
+            raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+        check_probability("p_leave", p_leave)
+        check_probability("p_join", p_join)
+        if p_join == 0.0:
+            raise ValueError("p_join must be > 0 or peers never return")
+        self.num_peers = num_peers
+        self.p_leave = float(p_leave)
+        self.p_join = float(p_join)
+        self._rng = as_generator(seed)
+        self._state = np.full(num_peers, bool(start_up))
+
+    @property
+    def stationary_availability(self) -> float:
+        """Long-run fraction of peers present."""
+        return self.p_join / (self.p_join + self.p_leave)
+
+    def sample(self, pass_index: int) -> np.ndarray:
+        u = self._rng.random(self.num_peers)
+        flip_down = self._state & (u < self.p_leave)
+        flip_up = ~self._state & (u < self.p_join)
+        self._state = (self._state & ~flip_down) | flip_up
+        return self._state.copy()

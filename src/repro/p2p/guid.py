@@ -1,0 +1,96 @@
+"""Global unique identifiers (GUIDs) for documents and peers.
+
+DHT-based P2P systems (Chord, CAN, Pastry — §2.1) address both peers
+and documents by fixed-width hashed identifiers on a ring.  We follow
+Chord's convention: SHA-1 of the name, truncated to ``ID_BITS`` bits.
+The paper's message-size accounting (§4.6.1) assumes 128-bit GUIDs, so
+the default ring width is 128 bits; it is a module constant rather than
+per-ring configuration because every component of one deployment must
+agree on it.
+
+Python integers hold the ids exactly, and NumPy ``uint64`` pairs are
+used where vectorized ring arithmetic matters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "ID_BITS",
+    "ID_SPACE",
+    "guid_of",
+    "document_guid",
+    "peer_guid",
+    "ring_distance",
+    "in_interval",
+]
+
+#: Width of the identifier ring (bits).  The paper budgets 128 bits per
+#: GUID in its 24-byte update message (§4.6.1).
+ID_BITS = 128
+
+#: Size of the identifier space, ``2 ** ID_BITS``.
+ID_SPACE = 1 << ID_BITS
+
+
+def guid_of(name: str | bytes, *, namespace: str = "") -> int:
+    """Deterministic GUID for ``name``: SHA-1 truncated to the ring.
+
+    Parameters
+    ----------
+    name:
+        Arbitrary identifier (document path, peer address, ...).
+    namespace:
+        Optional prefix separating id universes (documents vs. peers)
+        so the same string never collides across kinds.
+    """
+    if isinstance(name, str):
+        name = name.encode("utf-8")
+    digest = hashlib.sha1(namespace.encode("utf-8") + b"\x00" + name).digest()
+    return int.from_bytes(digest, "big") % ID_SPACE
+
+
+def document_guid(doc_id: int | str) -> int:
+    """GUID of a document (namespaced so it never collides with peers)."""
+    return guid_of(str(doc_id), namespace="doc")
+
+
+def peer_guid(peer_id: int | str) -> int:
+    """GUID of a peer."""
+    return guid_of(str(peer_id), namespace="peer")
+
+
+def ring_distance(a: int, b: int) -> int:
+    """Clockwise distance from ``a`` to ``b`` on the ring."""
+    return (b - a) % ID_SPACE
+
+
+def in_interval(x: int, a: int, b: int, *, inclusive_right: bool = True) -> bool:
+    """True if ``x`` lies in the clockwise interval ``(a, b]`` (or
+    ``(a, b)`` when ``inclusive_right`` is false), with wraparound.
+
+    The standard Chord predicate: the interval covers the whole ring
+    when ``a == b``.
+    """
+    a %= ID_SPACE
+    b %= ID_SPACE
+    x %= ID_SPACE
+    if a == b:
+        return inclusive_right or x != a
+    if a < b:
+        return (a < x <= b) if inclusive_right else (a < x < b)
+    return (x > a or x <= b) if inclusive_right else (x > a or x < b)
+
+
+def guids_array(names: Iterable[str], *, namespace: str = "") -> np.ndarray:
+    """Vector of GUIDs as Python objects in a NumPy object array.
+
+    128-bit ids do not fit ``uint64``; when vectorized comparisons are
+    needed the ring code works on sorted Python-int lists instead (the
+    per-lookup cost is O(log P) either way).
+    """
+    return np.array([guid_of(n, namespace=namespace) for n in names], dtype=object)

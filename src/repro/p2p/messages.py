@@ -1,0 +1,123 @@
+"""Pagerank update messages and per-peer batching (paper §2.3, §4.6.1).
+
+The protocol has a single message type: *pagerank update* — "document
+X's contribution to you is now v".  The paper's traffic accounting
+(§4.6.1) prices each at 24 bytes: a 128-bit target GUID plus a 64-bit
+rank value; and its execution-time model assumes peers batch all
+updates bound for the same destination peer within a pass into one
+network call.  Both conventions are encoded here so every layer prices
+traffic identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = [
+    "MESSAGE_SIZE_BYTES",
+    "PagerankUpdate",
+    "MessageBatch",
+    "Outbox",
+]
+
+#: Bytes per pagerank update message: 128-bit GUID + 64-bit value (§4.6.1).
+MESSAGE_SIZE_BYTES = 24
+
+
+@dataclass(frozen=True)
+class PagerankUpdate:
+    """One pagerank update message.
+
+    Attributes
+    ----------
+    target_doc:
+        Document the update is addressed to (the link target).
+    source_doc:
+        Document whose rank changed (the link source).  Receivers need
+        it to know *which* in-link's contribution to replace.
+    value:
+        The sender's new rank.  Deletion updates carry the negated rank
+        (§3.1); the sign is data, not protocol.
+    version:
+        Per-source publish sequence number.  The paper's message format
+        (GUID + value) has no ordering information, but with realistic
+        latencies two updates from the same document can arrive out of
+        order, and applying the older one last leaves the receiver
+        permanently stale — a failure mode this reproduction's
+        asynchronous simulator actually hit.  Receivers keep only the
+        highest version per source (:meth:`repro.p2p.peer.Peer.receive`).
+    """
+
+    target_doc: int
+    source_doc: int
+    value: float
+    version: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size under the paper's 24-byte accounting."""
+        return MESSAGE_SIZE_BYTES
+
+
+@dataclass
+class MessageBatch:
+    """All updates one peer sends to one other peer within a pass.
+
+    The §4.6.1 transfer model serialises one network call per
+    (sender, receiver) pair per pass; the batch is that call's payload.
+    """
+
+    sender_peer: int
+    receiver_peer: int
+    updates: List[PagerankUpdate] = field(default_factory=list)
+
+    def add(self, update: PagerankUpdate) -> None:
+        self.updates.append(update)
+
+    def __len__(self) -> int:
+        return len(self.updates)
+
+    def __iter__(self) -> Iterator[PagerankUpdate]:
+        return iter(self.updates)
+
+    @property
+    def size_bytes(self) -> int:
+        """Total payload bytes (updates only; headers ignored, as in
+        the paper's estimate)."""
+        return len(self.updates) * MESSAGE_SIZE_BYTES
+
+
+class Outbox:
+    """Per-peer staging area that groups updates by destination peer.
+
+    Usage per pass: the peer stages every update it generates, then the
+    network layer drains :meth:`batches` — one
+    :class:`MessageBatch` per destination — and delivers or defers
+    them.
+    """
+
+    def __init__(self, owner_peer: int) -> None:
+        self.owner_peer = owner_peer
+        self._by_dest: Dict[int, MessageBatch] = {}
+
+    def stage(self, dest_peer: int, update: PagerankUpdate) -> None:
+        """Queue ``update`` for ``dest_peer``."""
+        batch = self._by_dest.get(dest_peer)
+        if batch is None:
+            batch = self._by_dest[dest_peer] = MessageBatch(self.owner_peer, dest_peer)
+        batch.add(update)
+
+    def batches(self) -> List[MessageBatch]:
+        """Drain and return all staged batches."""
+        out = list(self._by_dest.values())
+        self._by_dest.clear()
+        return out
+
+    def __len__(self) -> int:
+        """Total staged updates across all destinations."""
+        return sum(len(b) for b in self._by_dest.values())
+
+    @property
+    def destinations(self) -> Tuple[int, ...]:
+        return tuple(self._by_dest)

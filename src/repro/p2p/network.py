@@ -1,0 +1,218 @@
+"""Document placement and the P2P network facade (paper §4.2).
+
+The simulation methodology assigns every document of the link graph to
+a peer — the paper uses uniform random assignment onto 500 peers — and
+all traffic accounting derives from that placement: links between
+documents on the same peer are free, links across peers cost update
+messages, and the Eq. 4 execution-time model needs the per-peer-pair
+link counts ``L_ij``.
+
+Two placement strategies are provided:
+
+* :meth:`DocumentPlacement.random` — the paper's uniform random
+  placement;
+* :meth:`DocumentPlacement.by_guid` — consistent-hashing placement,
+  where the document's GUID owner on the Chord ring stores it (what a
+  real DHT deployment would do).  Used by the protocol-level simulator
+  and by the placement ablation (the paper's future work asks whether
+  link-aware mapping could cut network overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+
+from repro._util import as_generator
+from repro._util.rng import SeedLike
+from repro.graphs.linkgraph import LinkGraph
+from repro.p2p.chord import ChordRing
+from repro.p2p.guid import document_guid
+
+__all__ = ["DocumentPlacement", "P2PNetwork"]
+
+
+class DocumentPlacement:
+    """Immutable document → peer mapping.
+
+    Parameters
+    ----------
+    assignment:
+        Integer array of length ``num_docs``; ``assignment[i]`` is the
+        peer storing document ``i``.
+    num_peers:
+        Total number of peers (≥ ``assignment.max() + 1``).
+    """
+
+    def __init__(self, assignment: np.ndarray, num_peers: int) -> None:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.ndim != 1:
+            raise ValueError("assignment must be 1-D")
+        if assignment.size and (assignment.min() < 0 or assignment.max() >= num_peers):
+            raise ValueError("assignment entries must be in [0, num_peers)")
+        assignment = assignment.copy()
+        assignment.setflags(write=False)
+        self._assignment = assignment
+        self._num_peers = int(num_peers)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(cls, num_docs: int, num_peers: int, *, seed: SeedLike = None) -> "DocumentPlacement":
+        """Uniform random placement (the paper's §4.2 methodology)."""
+        if num_peers < 1:
+            raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+        rng = as_generator(seed)
+        return cls(rng.integers(0, num_peers, size=num_docs, dtype=np.int64), num_peers)
+
+    @classmethod
+    def by_guid(cls, num_docs: int, ring: ChordRing) -> "DocumentPlacement":
+        """Consistent-hashing placement: GUID successor owns the doc.
+
+        Peers in ``ring`` must be numbered ``0 .. P-1`` (the dense ids
+        the engines use).
+        """
+        peers = sorted(ring.peers)
+        if peers != list(range(len(peers))):
+            raise ValueError("ring peers must be densely numbered 0..P-1")
+        assignment = np.fromiter(
+            (ring.owner(document_guid(d)) for d in range(num_docs)),
+            dtype=np.int64,
+            count=num_docs,
+        )
+        return cls(assignment, len(peers))
+
+    # ------------------------------------------------------------------
+    @property
+    def assignment(self) -> np.ndarray:
+        """The document → peer array (read-only)."""
+        return self._assignment
+
+    @property
+    def num_docs(self) -> int:
+        return self._assignment.size
+
+    @property
+    def num_peers(self) -> int:
+        return self._num_peers
+
+    def peer_of(self, doc: int) -> int:
+        """Peer storing document ``doc``."""
+        return int(self._assignment[doc])
+
+    def docs_of(self, peer: int) -> np.ndarray:
+        """All documents stored on ``peer``."""
+        if not 0 <= peer < self._num_peers:
+            raise IndexError(f"peer {peer} out of range [0, {self._num_peers})")
+        return np.flatnonzero(self._assignment == peer)
+
+    def docs_by_peer(self) -> List[np.ndarray]:
+        """Documents grouped by peer, computed in one O(N) pass."""
+        order = np.argsort(self._assignment, kind="stable")
+        sorted_peers = self._assignment[order]
+        boundaries = np.searchsorted(sorted_peers, np.arange(self._num_peers + 1))
+        return [order[boundaries[p] : boundaries[p + 1]] for p in range(self._num_peers)]
+
+    def load_statistics(self) -> Dict[str, float]:
+        """Docs-per-peer balance statistics."""
+        counts = np.bincount(self._assignment, minlength=self._num_peers)
+        return {
+            "min": float(counts.min()),
+            "max": float(counts.max()),
+            "mean": float(counts.mean()),
+            "std": float(counts.std()),
+        }
+
+
+class P2PNetwork:
+    """A peer population, its DHT ring, and a document placement.
+
+    This is the shared context the protocol-level simulator, the
+    caching layer, and the timing model all hang off.
+
+    Parameters
+    ----------
+    num_peers:
+        Peers are densely numbered ``0 .. num_peers-1``.
+    placement:
+        Document placement; defaults to nothing until
+        :meth:`place_documents` is called.
+    build_ring:
+        Build the Chord ring eagerly (skippable for experiments that
+        only need placement and link accounting).
+    """
+
+    def __init__(
+        self,
+        num_peers: int,
+        placement: Optional[DocumentPlacement] = None,
+        *,
+        build_ring: bool = True,
+    ) -> None:
+        if num_peers < 1:
+            raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+        self.num_peers = int(num_peers)
+        self.ring: Optional[ChordRing] = (
+            ChordRing(list(range(num_peers))) if build_ring else None
+        )
+        if placement is not None and placement.num_peers != num_peers:
+            raise ValueError(
+                f"placement has {placement.num_peers} peers, network has {num_peers}"
+            )
+        self.placement = placement
+
+    def place_documents(
+        self,
+        num_docs: int,
+        *,
+        strategy: str = "random",
+        seed: SeedLike = None,
+    ) -> DocumentPlacement:
+        """Create and attach a placement.
+
+        ``strategy``: ``"random"`` (paper) or ``"guid"`` (consistent
+        hashing on the ring).
+        """
+        if strategy == "random":
+            self.placement = DocumentPlacement.random(num_docs, self.num_peers, seed=seed)
+        elif strategy == "guid":
+            if self.ring is None:
+                raise ValueError("guid placement requires the Chord ring")
+            self.placement = DocumentPlacement.by_guid(num_docs, self.ring)
+        else:
+            raise ValueError(f"unknown placement strategy {strategy!r}")
+        return self.placement
+
+    def peer_link_matrix(self, graph: LinkGraph) -> csr_matrix:
+        """``L[i, j]`` = number of document links from peer i to peer j.
+
+        This is the ``L_ij`` of the paper's Eq. 4 execution-time model.
+        Built with one vectorized pass over the edge arrays.
+        """
+        if self.placement is None:
+            raise ValueError("no placement attached; call place_documents first")
+        if self.placement.num_docs != graph.num_nodes:
+            raise ValueError(
+                f"placement covers {self.placement.num_docs} docs, "
+                f"graph has {graph.num_nodes}"
+            )
+        a = self.placement.assignment
+        out_deg = graph.out_degrees()
+        src_peer = np.repeat(a, out_deg)
+        dst_peer = a[graph.indices]
+        data = np.ones(src_peer.size, dtype=np.int64)
+        mat = coo_matrix(
+            (data, (src_peer, dst_peer)), shape=(self.num_peers, self.num_peers)
+        )
+        return mat.tocsr()
+
+    def cross_peer_edge_count(self, graph: LinkGraph) -> int:
+        """Number of links whose endpoints live on different peers."""
+        if self.placement is None:
+            raise ValueError("no placement attached; call place_documents first")
+        a = self.placement.assignment
+        src_peer = np.repeat(a, graph.out_degrees())
+        dst_peer = a[graph.indices]
+        return int((src_peer != dst_peer).sum())

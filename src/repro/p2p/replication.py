@@ -1,0 +1,167 @@
+"""Document replication and cached-copy consistency (paper §2.3).
+
+P2P storage systems replicate or cache documents on multiple peers to
+cut retrieval latency.  The paper notes the consequence for pagerank:
+"pointers need to be maintained at document sources to point to cached
+copies, so that all copies of the document can contain the correct
+computed pagerank" — i.e. every rank update for a replicated document
+must also reach its replicas.
+
+:class:`ReplicaRegistry` implements that bookkeeping:
+
+* each document has a *primary* peer (its placement) plus zero or more
+  replica peers;
+* the registry answers "which peers must a rank update for document X
+  reach" (primary + replicas);
+* :meth:`replication_overhead` prices the §2.3 consistency cost: one
+  extra update message per replica per rank change, the linear factor
+  the traffic experiments fold in.
+
+The registry is deliberately independent of the engines — it is a
+multiplier on their message counts, applied by
+:func:`replicated_message_cost` — because replication changes *where*
+updates go, never the convergence math (replicas are read-only copies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro._util import as_generator, check_positive
+from repro._util.rng import SeedLike
+from repro.core.convergence import RunReport
+from repro.graphs.linkgraph import LinkGraph
+from repro.p2p.network import DocumentPlacement
+
+__all__ = ["ReplicaRegistry", "replicated_message_cost"]
+
+
+class ReplicaRegistry:
+    """Tracks replica locations per document.
+
+    Parameters
+    ----------
+    placement:
+        The primary placement (who owns each document).
+    """
+
+    def __init__(self, placement: DocumentPlacement) -> None:
+        self.placement = placement
+        self._replicas: Dict[int, Set[int]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def with_random_replicas(
+        cls,
+        placement: DocumentPlacement,
+        *,
+        replicas_per_doc: float,
+        seed: SeedLike = None,
+    ) -> "ReplicaRegistry":
+        """Populate with a Poisson-ish random replica set.
+
+        Each document receives ``round-robin`` draws so the *mean*
+        replica count is ``replicas_per_doc``; replica peers are chosen
+        uniformly among peers other than the primary.  This models
+        popularity-agnostic caching; callers wanting popularity-biased
+        replication can :meth:`add_replica` explicitly.
+        """
+        check_positive("replicas_per_doc", replicas_per_doc, strict=False)
+        registry = cls(placement)
+        if placement.num_peers < 2 or replicas_per_doc == 0:
+            return registry
+        rng = as_generator(seed)
+        counts = rng.poisson(replicas_per_doc, size=placement.num_docs)
+        counts = np.minimum(counts, placement.num_peers - 1)
+        for doc in np.flatnonzero(counts):
+            primary = placement.peer_of(int(doc))
+            candidates = [p for p in range(placement.num_peers) if p != primary]
+            chosen = rng.choice(
+                candidates, size=int(counts[doc]), replace=False
+            )
+            for peer in chosen:
+                registry.add_replica(int(doc), int(peer))
+        return registry
+
+    # ------------------------------------------------------------------
+    def add_replica(self, doc: int, peer: int) -> None:
+        """Register a cached copy of ``doc`` on ``peer``.
+
+        The primary never counts as a replica of itself.
+        """
+        if not 0 <= doc < self.placement.num_docs:
+            raise IndexError(f"doc {doc} out of range")
+        if not 0 <= peer < self.placement.num_peers:
+            raise IndexError(f"peer {peer} out of range")
+        if peer == self.placement.peer_of(doc):
+            return
+        self._replicas.setdefault(doc, set()).add(peer)
+
+    def drop_replica(self, doc: int, peer: int) -> None:
+        """Remove a cached copy (cache eviction / peer departure)."""
+        peers = self._replicas.get(doc)
+        if peers is not None:
+            peers.discard(peer)
+            if not peers:
+                del self._replicas[doc]
+
+    def replicas_of(self, doc: int) -> Set[int]:
+        """Replica peers of ``doc`` (primary excluded)."""
+        return set(self._replicas.get(doc, ()))
+
+    def update_targets(self, doc: int) -> Set[int]:
+        """All peers a rank update for ``doc`` must reach."""
+        targets = self.replicas_of(doc)
+        targets.add(self.placement.peer_of(doc))
+        return targets
+
+    def replica_counts(self) -> np.ndarray:
+        """Replica count per document (dense array)."""
+        out = np.zeros(self.placement.num_docs, dtype=np.int64)
+        for doc, peers in self._replicas.items():
+            out[doc] = len(peers)
+        return out
+
+    @property
+    def total_replicas(self) -> int:
+        return sum(len(p) for p in self._replicas.values())
+
+    def storage_overhead(self) -> float:
+        """Mean copies per document (1.0 = no replication)."""
+        n = self.placement.num_docs
+        return 1.0 + self.total_replicas / n if n else 1.0
+
+
+def replicated_message_cost(
+    report: RunReport,
+    registry: ReplicaRegistry,
+    *,
+    per_pass_updates: Optional[np.ndarray] = None,
+) -> int:
+    """Total update messages including replica-consistency traffic.
+
+    Every time a document publishes a rank change, one extra message
+    per replica keeps the cached copies' stored pagerank correct
+    (§2.3).  Without per-document publish counts, the engine's history
+    gives the number of *active* documents per pass; this helper uses
+    the exact per-document counts when provided (``per_pass_updates``:
+    publishes per document over the run) and otherwise bounds the cost
+    with the mean replica factor.
+
+    Returns the total messages: the report's own cross-peer traffic
+    plus the replica fan-out.
+    """
+    counts = registry.replica_counts()
+    if per_pass_updates is not None:
+        per_pass_updates = np.asarray(per_pass_updates)
+        if per_pass_updates.shape != counts.shape:
+            raise ValueError(
+                "per_pass_updates must have one entry per document"
+            )
+        replica_msgs = int((per_pass_updates * counts).sum())
+    else:
+        total_publishes = sum(p.active_documents for p in report.history)
+        replica_msgs = int(round(total_publishes * counts.mean()))
+    return report.total_messages + replica_msgs

@@ -1,0 +1,224 @@
+"""Document placement strategies (paper §4.2, §6, §8).
+
+The paper's experiments use uniform random placement; its future work
+asks whether link-structure-aware mapping could cut network overhead,
+and its conclusion sketches a web-server deployment where each server
+(peer) hosts whole sites.  This module provides all three placement
+families behind one interface, so the traffic experiments can compare
+them directly:
+
+* :func:`random_placement` — the paper's methodology (§4.2);
+* :func:`link_clustered_placement` — greedy BFS blocks: each peer gets
+  a contiguous link neighbourhood, the cheap stand-in for the §6
+  link-aware mapping (the ablation benchmark shows ~20 % message
+  savings);
+* :func:`host_clustered_placement` — the §8 web-server model:
+  documents belong to hosts (power-law site sizes, strong intra-host
+  linking in real webs), hosts are atomic placement units.
+
+All return :class:`~repro.p2p.network.DocumentPlacement`; use
+:func:`cross_edge_fraction` to compare the traffic-relevant statistic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro._util import as_generator
+from repro._util.rng import SeedLike
+from repro.graphs.linkgraph import LinkGraph
+from repro.graphs.powerlaw import sample_power_law_degrees
+from repro.p2p.network import DocumentPlacement
+
+__all__ = [
+    "random_placement",
+    "link_clustered_placement",
+    "host_clustered_placement",
+    "refine_placement",
+    "cross_edge_fraction",
+]
+
+
+def random_placement(
+    num_docs: int, num_peers: int, *, seed: SeedLike = None
+) -> DocumentPlacement:
+    """Uniform random placement — the paper's §4.2 methodology."""
+    return DocumentPlacement.random(num_docs, num_peers, seed=seed)
+
+
+def link_clustered_placement(
+    graph: LinkGraph,
+    num_peers: int,
+    *,
+    seed: SeedLike = None,
+) -> DocumentPlacement:
+    """Greedy BFS-block placement: co-locate link neighbourhoods.
+
+    Peers are filled one at a time with breadth-first link
+    neighbourhoods of roughly equal size (``ceil(N / P)`` documents),
+    so most links land intra-peer and generate no update messages.
+    This is a cheap approximation of graph partitioning — good enough
+    to answer the paper's §6 question affirmatively; a production
+    system would use a proper balanced min-cut partitioner.
+    """
+    if num_peers < 1:
+        raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+    n = graph.num_nodes
+    target = int(np.ceil(n / num_peers)) if n else 0
+    assignment = np.full(n, -1, dtype=np.int64)
+    rng = as_generator(seed)
+    order = rng.permutation(n)
+    peer, filled = 0, 0
+    queue: deque = deque()
+    for start in order:
+        if assignment[start] >= 0:
+            continue
+        queue.append(int(start))
+        while queue:
+            u = queue.popleft()
+            if assignment[u] >= 0:
+                continue
+            assignment[u] = peer
+            filled += 1
+            if filled >= target and peer < num_peers - 1:
+                peer, filled = peer + 1, 0
+                queue.clear()
+                break
+            for v in graph.out_links(u):
+                if assignment[int(v)] < 0:
+                    queue.append(int(v))
+    assignment[assignment < 0] = num_peers - 1
+    return DocumentPlacement(assignment, num_peers)
+
+
+def host_clustered_placement(
+    num_docs: int,
+    num_peers: int,
+    *,
+    mean_host_size: float = 20.0,
+    host_size_exponent: float = 1.8,
+    seed: SeedLike = None,
+) -> Tuple[DocumentPlacement, np.ndarray]:
+    """Web-server placement (§8): hosts are atomic units on peers.
+
+    Documents are grouped into hosts whose sizes follow a truncated
+    power law (real web-site sizes are heavy-tailed); each host is
+    assigned wholly to one peer chosen uniformly.  Returns the
+    placement and the per-document host id, which graph generators can
+    use to bias intra-host linking.
+
+    Parameters
+    ----------
+    mean_host_size:
+        Approximate mean documents per host (controls the truncation).
+    host_size_exponent:
+        Power-law exponent of host sizes (> 1).
+    """
+    if num_docs < 1:
+        raise ValueError(f"num_docs must be >= 1, got {num_docs}")
+    if num_peers < 1:
+        raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+    if mean_host_size < 1:
+        raise ValueError(f"mean_host_size must be >= 1, got {mean_host_size}")
+    rng = as_generator(seed)
+    k_max = max(2, int(mean_host_size * 20))
+    sizes = []
+    total = 0
+    while total < num_docs:
+        s = int(
+            sample_power_law_degrees(
+                1, host_size_exponent, k_min=1, k_max=k_max, seed=rng
+            )[0]
+        )
+        sizes.append(s)
+        total += s
+    sizes[-1] -= total - num_docs  # trim the overshoot
+    if sizes[-1] == 0:
+        sizes.pop()
+    host_of = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
+    # Shuffle document ids so host membership is independent of id order.
+    perm = rng.permutation(num_docs)
+    host_per_doc = np.empty(num_docs, dtype=np.int64)
+    host_per_doc[perm] = host_of
+    host_peer = rng.integers(0, num_peers, size=len(sizes), dtype=np.int64)
+    assignment = host_peer[host_per_doc]
+    return DocumentPlacement(assignment, num_peers), host_per_doc
+
+
+def refine_placement(
+    graph: LinkGraph,
+    placement: DocumentPlacement,
+    *,
+    max_sweeps: int = 3,
+    balance_slack: float = 1.25,
+    seed: SeedLike = None,
+) -> DocumentPlacement:
+    """Greedy gain-based refinement of any placement (KL/FM-style).
+
+    Each sweep visits documents in random order and moves a document to
+    the peer holding the most of its link neighbours (in- plus
+    out-links) whenever that strictly reduces its cross-peer links and
+    the target peer is under the balance cap
+    ``ceil(N / P · balance_slack)``.  A few sweeps typically shave a
+    further 10-25 % of cross links off the BFS clustering — the cheap
+    local-search step a production partitioner would run.
+
+    Returns a new placement; the input is untouched.
+    """
+    if max_sweeps < 1:
+        raise ValueError(f"max_sweeps must be >= 1, got {max_sweeps}")
+    if balance_slack < 1.0:
+        raise ValueError(f"balance_slack must be >= 1.0, got {balance_slack}")
+    if placement.num_docs != graph.num_nodes:
+        raise ValueError("placement and graph disagree on document count")
+    rng = as_generator(seed)
+    n, p = graph.num_nodes, placement.num_peers
+    assignment = placement.assignment.copy()
+    counts = np.bincount(assignment, minlength=p)
+    cap = int(np.ceil(n / p * balance_slack)) if n else 0
+    rev = graph.reverse()
+
+    for _ in range(max_sweeps):
+        moved = 0
+        for node in rng.permutation(n):
+            node = int(node)
+            neighbours = np.concatenate(
+                [graph.out_links(node), rev.out_links(node)]
+            )
+            if neighbours.size == 0:
+                continue
+            peer_votes = np.bincount(assignment[neighbours], minlength=p)
+            current = int(assignment[node])
+            best = int(np.argmax(peer_votes))
+            if best == current:
+                continue
+            if peer_votes[best] <= peer_votes[current]:
+                continue
+            if counts[best] >= cap:
+                continue
+            assignment[node] = best
+            counts[current] -= 1
+            counts[best] += 1
+            moved += 1
+        if moved == 0:
+            break
+    return DocumentPlacement(assignment, p)
+
+
+def cross_edge_fraction(graph: LinkGraph, placement: DocumentPlacement) -> float:
+    """Fraction of links crossing peers — the traffic driver.
+
+    Uniform random placement over P peers gives ≈ ``1 - 1/P``;
+    anything materially lower means the placement is saving messages.
+    """
+    if placement.num_docs != graph.num_nodes:
+        raise ValueError("placement and graph disagree on document count")
+    if graph.num_edges == 0:
+        return 0.0
+    a = placement.assignment
+    src_peer = np.repeat(a, graph.out_degrees())
+    dst_peer = a[graph.indices]
+    return float((src_peer != dst_peer).mean())

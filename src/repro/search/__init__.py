@@ -1,0 +1,65 @@
+"""Keyword search over the P2P index (paper §2.4, §4.9).
+
+* :mod:`~repro.search.corpus` — the synthetic crawl substitute;
+* :mod:`~repro.search.index` — the distributed inverted index with a
+  pagerank column;
+* :mod:`~repro.search.baseline` / :mod:`~repro.search.incremental` —
+  full-forwarding vs. top-x% incremental search (Table 6);
+* :mod:`~repro.search.bloom` — Bloom-filter-assisted intersection and
+  its composition with incremental forwarding;
+* :mod:`~repro.search.fasd` — the FASD/Freenet closeness ⊕ pagerank
+  scoring variant.
+"""
+
+from repro.search.baseline import (
+    SearchOutcome,
+    baseline_search,
+    intersect_sorted_by_rank,
+    order_terms,
+)
+from repro.search.bloom import (
+    DOC_ID_BYTES,
+    BloomFilter,
+    BloomSearchOutcome,
+    bloom_search,
+)
+from repro.search.corpus import (
+    Corpus,
+    CorpusConfig,
+    load_corpus,
+    save_corpus,
+    synthesize_corpus,
+)
+from repro.search.fasd import FasdResult, FasdScorer
+from repro.search.incremental import (
+    DEFAULT_MIN_FORWARD,
+    forward_top_fraction,
+    incremental_search,
+)
+from repro.search.index import DistributedIndex, PostingList
+from repro.search.query import Query, generate_queries
+
+__all__ = [
+    "Corpus",
+    "CorpusConfig",
+    "synthesize_corpus",
+    "save_corpus",
+    "load_corpus",
+    "DistributedIndex",
+    "PostingList",
+    "Query",
+    "generate_queries",
+    "SearchOutcome",
+    "baseline_search",
+    "intersect_sorted_by_rank",
+    "order_terms",
+    "incremental_search",
+    "forward_top_fraction",
+    "DEFAULT_MIN_FORWARD",
+    "BloomFilter",
+    "BloomSearchOutcome",
+    "bloom_search",
+    "DOC_ID_BYTES",
+    "FasdScorer",
+    "FasdResult",
+]

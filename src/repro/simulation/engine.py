@@ -1,0 +1,363 @@
+"""Protocol-level pass simulator on the real P2P substrate.
+
+Where :class:`repro.core.distributed.ChaoticPagerank` is the vectorized
+array engine, :class:`P2PPagerankSimulation` runs the *actual
+protocol*: :class:`~repro.p2p.peer.Peer` state machines exchanging
+:class:`~repro.p2p.messages.PagerankUpdate` objects in per-destination
+batches, with §3.1 store-and-resend for absent peers and an optional
+§3.2 delivery policy pricing DHT routing hops.
+
+It is deliberately per-message Python — the readable reference the
+integration suite cross-validates against the fast engine (identical
+ranks, identical message counts, identical pass counts), exercised at
+test scale.  Use the vectorized engine for anything large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from repro._util import check_positive, check_threshold
+from repro.core.convergence import ConvergenceTracker, PassStats, RunReport
+from repro.core.distributed import AvailabilityModel
+from repro.core.pagerank import DEFAULT_DAMPING
+from repro.graphs.linkgraph import LinkGraph
+from repro.p2p.network import P2PNetwork
+from repro.p2p.peer import Peer
+from repro.p2p.routing import DeliveryPolicy
+
+__all__ = ["P2PPagerankSimulation", "TrafficSummary"]
+
+
+@dataclass
+class TrafficSummary:
+    """Aggregate traffic accounting of one protocol-level run.
+
+    Attributes
+    ----------
+    update_messages:
+        Pagerank update messages delivered (cross-peer only).
+    resent_messages:
+        Of those, deliveries that had been stored for absent peers.
+    network_batches:
+        (sender, receiver) batch transfers — the unit the §4.6.1
+        transfer model serialises.
+    routing_hops:
+        Total hops charged by the delivery policy (0 with the default
+        oracle policy; > messages in Freenet/routed mode).
+    bytes_transferred:
+        ``update_messages × 24`` under the paper's message sizing.
+    migrations:
+        Documents moved by §3.1 re-homing (0 unless ``rehoming_after``
+        is enabled).
+    """
+
+    update_messages: int = 0
+    resent_messages: int = 0
+    network_batches: int = 0
+    routing_hops: int = 0
+    bytes_transferred: int = 0
+    migrations: int = 0
+
+
+class P2PPagerankSimulation:
+    """Distributed pagerank over explicit peer state machines.
+
+    Parameters
+    ----------
+    graph:
+        The document link graph.
+    network:
+        A :class:`~repro.p2p.network.P2PNetwork` with a placement
+        attached (who stores which document).
+    damping, epsilon, init_rank:
+        Algorithm parameters, as in the vectorized engine.
+    delivery_policy:
+        Optional :class:`~repro.p2p.routing.DeliveryPolicy` pricing
+        the hops of each delivered update (defaults to none — hop
+        accounting off; message counts are policy-independent).
+    rehoming_after:
+        Optional §3.1 liveness fix: when a peer has been absent for
+        this many *consecutive* passes, the DHT re-homes its documents
+        (state and all) to each document's first live successor, and
+        they migrate back when the peer returns.  Without it, two peers
+        that are never simultaneously present can deadlock the
+        store-and-resend protocol (see docs/PROTOCOL.md §6).  Requires
+        the network's Chord ring.
+    """
+
+    def __init__(
+        self,
+        graph: LinkGraph,
+        network: P2PNetwork,
+        *,
+        damping: float = DEFAULT_DAMPING,
+        epsilon: float = 1e-3,
+        init_rank: float = 1.0,
+        delivery_policy: Optional[DeliveryPolicy] = None,
+        rehoming_after: Optional[int] = None,
+    ) -> None:
+        check_threshold("damping", damping)
+        check_threshold("epsilon", epsilon)
+        check_positive("init_rank", init_rank)
+        if network.placement is None:
+            raise ValueError("network must have a document placement attached")
+        if network.placement.num_docs != graph.num_nodes:
+            raise ValueError(
+                f"placement covers {network.placement.num_docs} documents, "
+                f"graph has {graph.num_nodes}"
+            )
+        self.graph = graph
+        self.network = network
+        self.damping = float(damping)
+        self.epsilon = float(epsilon)
+        self.init_rank = float(init_rank)
+        self.delivery_policy = delivery_policy
+        if rehoming_after is not None:
+            if rehoming_after < 1:
+                raise ValueError(
+                    f"rehoming_after must be >= 1, got {rehoming_after}"
+                )
+            if network.ring is None:
+                raise ValueError("rehoming requires the network's Chord ring")
+        self.rehoming_after = rehoming_after
+        self.traffic = TrafficSummary()
+
+        docs_by_peer = network.placement.docs_by_peer()
+        self.peers: List[Peer] = [
+            Peer(pid, docs_by_peer[pid], graph, init_rank=init_rank)
+            for pid in range(network.num_peers)
+        ]
+        # Ownership is mutable under re-homing; keep our own copy plus
+        # the original "home" placement documents return to.
+        self._peer_of = network.placement.assignment.copy()
+        self._home_peer = network.placement.assignment.copy()
+        self._absence = np.zeros(network.num_peers, dtype=np.int64)
+        # Documents that received an update not yet folded into a
+        # recompute (absent owners); blocks premature convergence.
+        self._dirty: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        max_passes: int = 10_000,
+        availability: Optional[AvailabilityModel] = None,
+        keep_history: bool = True,
+    ) -> RunReport:
+        """Run passes until the strong convergence criterion.
+
+        Semantics mirror the vectorized engine exactly: (1) stored
+        updates whose sender and receiver are both present are
+        delivered, (2) every present peer recomputes all its documents
+        from previously received values, (3) freshly staged updates are
+        delivered to present receivers and stored for absent ones.
+        """
+        if max_passes < 1:
+            raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+        tracker = ConvergenceTracker(self.epsilon, keep_history=keep_history)
+        num_peers = self.network.num_peers
+
+        converged = False
+        for t in range(max_passes):
+            if availability is None:
+                live = np.ones(num_peers, dtype=bool)
+            else:
+                live = np.asarray(availability.sample(t), dtype=bool)
+                if live.shape != (num_peers,):
+                    raise ValueError(
+                        f"availability.sample must return shape ({num_peers},)"
+                    )
+
+            # (0) §3.1 re-homing of long-absent peers' documents
+            if self.rehoming_after is not None:
+                self._absence[live] = 0
+                self._absence[~live] += 1
+                self._rehome(live)
+
+            # (1) store-and-resend deliveries
+            resent = self._deliver_deferred(live)
+
+            # (2) concurrent recompute on live peers
+            active = 0
+            max_change = 0.0
+            computed = 0
+            published_docs = []
+            for peer in self.peers:
+                if not live[peer.peer_id]:
+                    continue
+                outcome = peer.compute_pass(self.damping, self.epsilon, self._peer_of)
+                active += outcome.active_documents
+                computed += len(peer.documents)
+                if outcome.max_rel_change > max_change:
+                    max_change = outcome.max_rel_change
+                self._dirty.difference_update(int(d) for d in peer.documents)
+                published_docs.extend(outcome.published_docs)
+            # Published values are instantly visible to co-located
+            # consumers, who now owe a recompute (the vectorized engine
+            # marks these via its per-edge dirty pass); remote targets
+            # are marked at delivery below.
+            for doc in published_docs:
+                owner = int(self._peer_of[doc])
+                for target in self.graph.out_links(doc):
+                    if int(self._peer_of[int(target)]) == owner:
+                        self._dirty.add(int(target))
+
+            # (3) drain outboxes: deliver or defer
+            delivered = self._deliver_outboxes(live)
+
+            messages = delivered + resent
+            self.traffic.update_messages += messages
+            self.traffic.resent_messages += resent
+            self.traffic.bytes_transferred = self.traffic.update_messages * 24
+            deferred_now = sum(p.deferred_count for p in self.peers)
+
+            tracker.record(
+                PassStats(
+                    pass_index=t,
+                    max_rel_change=max_change,
+                    active_documents=active,
+                    messages=messages,
+                    deferred_messages=deferred_now,
+                    live_peers=int(live.sum()),
+                    computed_documents=computed,
+                )
+            )
+            if active == 0 and deferred_now == 0 and not self._dirty:
+                converged = True
+                break
+        return tracker.finish(self.ranks(), converged)
+
+    # ------------------------------------------------------------------
+    def ranks(self) -> np.ndarray:
+        """Current rank of every document, gathered from the peers."""
+        out = np.empty(self.graph.num_nodes, dtype=np.float64)
+        for peer in self.peers:
+            for doc, value in peer.rank.items():
+                out[doc] = value
+        return out
+
+    # ------------------------------------------------------------------
+    def _deliver_deferred(self, live: np.ndarray) -> int:
+        """Step 1: present senders flush stored updates to present
+        receivers.  Returns the number of updates delivered.
+
+        Under re-homing a stored update's target document may have
+        moved, so each update is re-resolved to the document's *current*
+        owner before delivery.
+        """
+        delivered = 0
+        for peer in self.peers:
+            if not live[peer.peer_id] or not peer.deferred:
+                continue
+            if self.rehoming_after is None:
+                dests = [d for d in peer.deferred if live[d]]
+                for dest in dests:
+                    updates = peer.take_deferred(dest)
+                    self.peers[dest].receive_batch(updates)
+                    self._mark_dirty(updates)
+                    self._charge_hops(peer.peer_id, updates)
+                    delivered += len(updates)
+                    self.traffic.network_batches += 1
+                continue
+            # Re-homing: re-resolve every stored update's owner.
+            all_updates = []
+            for dest in list(peer.deferred):
+                all_updates.extend(peer.take_deferred(dest))
+            by_owner: Dict[int, list] = {}
+            for u in all_updates:
+                by_owner.setdefault(int(self._peer_of[u.target_doc]), []).append(u)
+            for owner, updates in by_owner.items():
+                if live[owner]:
+                    self.peers[owner].receive_batch(updates)
+                    self._mark_dirty(updates)
+                    self._charge_hops(peer.peer_id, updates)
+                    delivered += len(updates)
+                    self.traffic.network_batches += 1
+                else:
+                    peer.defer(owner, updates)
+        return delivered
+
+    def _deliver_outboxes(self, live: np.ndarray) -> int:
+        """Step 3: route freshly staged batches.  Returns updates
+        delivered (stored ones are counted when finally delivered)."""
+        delivered = 0
+        for peer in self.peers:
+            if not live[peer.peer_id]:
+                # An absent peer cannot have computed this pass, but it
+                # may hold a stale outbox in pathological uses; leave it.
+                continue
+            for batch in peer.outbox.batches():
+                if live[batch.receiver_peer]:
+                    self.peers[batch.receiver_peer].receive_batch(batch.updates)
+                    self._mark_dirty(batch.updates)
+                    self._charge_hops(peer.peer_id, batch.updates)
+                    delivered += len(batch)
+                    self.traffic.network_batches += 1
+                else:
+                    peer.defer(batch.receiver_peer, batch.updates)
+        return delivered
+
+    def _rehome(self, live: np.ndarray) -> None:
+        """Move documents off long-absent peers and back home on return."""
+        from repro.p2p.guid import document_guid
+
+        ring = self.network.ring
+        dead = set(int(p) for p in np.flatnonzero(~live))
+        threshold = self.rehoming_after
+
+        # Evacuate: peers absent for too long surrender everything —
+        # document state plus the in-link knowledge it was computed
+        # from (exported before surrendering, since sources may be
+        # co-migrating local documents).
+        for peer in self.peers:
+            pid = peer.peer_id
+            if self._absence[pid] < threshold or peer.documents.size == 0:
+                continue
+            docs = [int(d) for d in peer.documents]
+            knowledge = peer.export_inlink_knowledge(docs)
+            state = peer.surrender_documents(docs)
+            by_doc = {u.target_doc: [] for u in knowledge}
+            for u in knowledge:
+                by_doc[u.target_doc].append(u)
+            for doc in docs:
+                new_owner = ring.owner_excluding(document_guid(doc), dead)
+                self.peers[new_owner].adopt_documents({doc: state[doc]})
+                self.peers[new_owner].receive_batch(by_doc.get(doc, []))
+                self._peer_of[doc] = new_owner
+                self._dirty.add(doc)  # new owner owes a recompute
+                self.traffic.migrations += 1
+
+        # Return home: a reappeared peer re-acquires its documents.
+        for pid in np.flatnonzero(live):
+            pid = int(pid)
+            if self._absence[pid] != 0:
+                continue
+            strayed = np.flatnonzero(
+                (self._home_peer == pid) & (self._peer_of != pid)
+            )
+            for doc in strayed:
+                doc = int(doc)
+                holder = self.peers[int(self._peer_of[doc])]
+                knowledge = holder.export_inlink_knowledge([doc])
+                state = holder.surrender_documents([doc])
+                self.peers[pid].adopt_documents(state)
+                self.peers[pid].receive_batch(knowledge)
+                self._peer_of[doc] = pid
+                self._dirty.add(doc)
+                self.traffic.migrations += 1
+
+    def _mark_dirty(self, updates) -> None:
+        for u in updates:
+            self._dirty.add(u.target_doc)
+
+    def _charge_hops(self, sender_peer: int, updates) -> None:
+        if self.delivery_policy is None:
+            return
+        for u in updates:
+            self.traffic.routing_hops += self.delivery_policy.delivery_hops(
+                sender_peer, u.target_doc
+            )

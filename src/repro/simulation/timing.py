@@ -1,0 +1,154 @@
+"""Execution-time estimation (paper §4.6, Eq. 4).
+
+The paper estimates wall-clock convergence time from message counts
+under a deliberately conservative transfer model:
+
+* every update message costs ``MESSAGE_SIZE_BYTES`` (24 B: 128-bit
+  GUID + 64-bit value);
+* each peer *serialises* its sends — one network call per destination
+  peer per pass — at transfer rate ``B`` bytes/s;
+* per-pass compute cost ``C_p`` is a constant (estimated at about a
+  minute for the 5,000,000-node graph on circa-2003 hardware).
+
+Eq. 4:  ``T_pass(i) = C_i + Σ_j L_ij · M / B``.
+
+Table 3's reported hours match the *fully serialised* reading — total
+messages × message size ÷ transfer rate — which is the upper bound
+where no two transfers overlap anywhere in the network.  We provide
+that (:func:`total_time_serialized`, used to regenerate the table) and
+the peer-parallel per-pass reading (:func:`pass_time_parallel`, the
+literal Eq. 4 with the max over peers), plus the §4.6.2 Internet-scale
+extrapolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import spmatrix
+
+from repro._util import check_positive
+from repro.p2p.messages import MESSAGE_SIZE_BYTES
+
+__all__ = [
+    "TransferModel",
+    "RATE_32KBPS",
+    "RATE_200KBPS",
+    "RATE_T3",
+    "total_time_serialized",
+    "pass_time_parallel",
+    "internet_scale_estimate",
+]
+
+#: The paper's conservative P2P transfer rate (32 Kbytes/s).
+RATE_32KBPS = 32 * 1024
+#: The paper's aggressive P2P transfer rate (200 Kbytes/s).
+RATE_200KBPS = 200 * 1024
+#: T3 line rate used for the web-server scenario (§4.6.2), ~5.6 MB/s.
+RATE_T3 = int(5.6 * 1024 * 1024)
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Network/compute cost parameters of the §4.6.1 model.
+
+    Attributes
+    ----------
+    rate_bytes_per_s:
+        Average peer transfer rate ``B``.
+    message_size_bytes:
+        Wire size ``M`` per update (paper: 24).
+    compute_time_per_pass:
+        Constant per-pass computation cost ``C_p`` in seconds (paper
+        estimate: ≤ 60 s for the 5,000k graph; 0 reproduces Table 3,
+        which is communication-dominated).
+    """
+
+    rate_bytes_per_s: float
+    message_size_bytes: int = MESSAGE_SIZE_BYTES
+    compute_time_per_pass: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("rate_bytes_per_s", self.rate_bytes_per_s)
+        check_positive("message_size_bytes", self.message_size_bytes)
+        check_positive("compute_time_per_pass", self.compute_time_per_pass, strict=False)
+
+
+def total_time_serialized(
+    total_messages: int,
+    model: TransferModel,
+    *,
+    passes: int = 0,
+) -> float:
+    """Convergence time, fully serialised transfers (Table 3's metric).
+
+    ``total_messages × M / B + passes × C_p`` seconds.  ``passes`` only
+    matters when the model carries a nonzero compute cost.
+    """
+    if total_messages < 0:
+        raise ValueError(f"total_messages must be >= 0, got {total_messages}")
+    if passes < 0:
+        raise ValueError(f"passes must be >= 0, got {passes}")
+    comm = total_messages * model.message_size_bytes / model.rate_bytes_per_s
+    return comm + passes * model.compute_time_per_pass
+
+
+def pass_time_parallel(link_messages: spmatrix | np.ndarray, model: TransferModel) -> float:
+    """Literal Eq. 4 for one pass with peers transferring in parallel.
+
+    Parameters
+    ----------
+    link_messages:
+        ``(P, P)`` matrix whose ``[i, j]`` entry is the number of
+        update messages peer ``i`` sends peer ``j`` this pass (e.g.
+        :meth:`repro.p2p.network.P2PNetwork.peer_link_matrix` for a
+        worst-case all-active pass).
+
+    Returns
+    -------
+    float
+        ``max_i ( C_i + Σ_j L_ij · M / B )``: each peer serialises its
+        own sends, peers overlap, the slowest peer bounds the pass.
+    """
+    if hasattr(link_messages, "toarray"):
+        per_peer = np.asarray(link_messages.sum(axis=1)).ravel()
+    else:
+        per_peer = np.asarray(link_messages).sum(axis=1)
+    slowest = float(per_peer.max()) if per_peer.size else 0.0
+    return model.compute_time_per_pass + slowest * model.message_size_bytes / model.rate_bytes_per_s
+
+
+def internet_scale_estimate(
+    messages_per_document: float,
+    *,
+    num_documents: float = 3e9,
+    model: TransferModel | None = None,
+) -> float:
+    """§4.6.2's web-server extrapolation, in days.
+
+    Scales a measured per-document message count (Table 3's
+    size-independent metric) to an Internet-sized corpus served by web
+    servers on T3-class links.
+
+    Parameters
+    ----------
+    messages_per_document:
+        Average update messages per document at the chosen ε (measure
+        it with the vectorized engine on a synthetic graph — the paper
+        found it nearly independent of graph size).
+    num_documents:
+        Corpus size; the paper uses 3 billion.
+    model:
+        Transfer model; defaults to a T3 line with no compute cost.
+
+    Returns
+    -------
+    float
+        Estimated days to convergence.
+    """
+    check_positive("messages_per_document", messages_per_document)
+    check_positive("num_documents", num_documents)
+    m = model or TransferModel(rate_bytes_per_s=RATE_T3)
+    seconds = total_time_serialized(int(messages_per_document * num_documents), m)
+    return seconds / 86_400.0

@@ -1,0 +1,73 @@
+"""Tests of the Table 2 error-distribution machinery."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PAPER_PERCENTILES,
+    count_above,
+    error_distribution,
+    relative_error,
+)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        rd = np.array([1.1, 2.0])
+        rc = np.array([1.0, 2.0])
+        assert np.allclose(relative_error(rd, rc), [0.1, 0.0])
+
+    def test_zero_reference_handling(self):
+        rd = np.array([0.0, 1.0])
+        rc = np.array([0.0, 0.0])
+        err = relative_error(rd, rc)
+        assert err[0] == 0.0
+        assert np.isinf(err[1])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_error(np.ones(3), np.ones(4))
+
+
+class TestErrorDistribution:
+    def test_known_percentiles(self):
+        rc = np.ones(1000)
+        rd = np.ones(1000)
+        rd[:10] += 0.5  # ten docs at 50% error
+        dist = error_distribution(rd, rc)
+        assert dist.max_error == pytest.approx(0.5)
+        assert dist.percentile_errors[50.0] == 0.0
+        assert dist.percentile_errors[99.9] == pytest.approx(0.5)
+        assert dist.mean_error == pytest.approx(0.005)
+
+    def test_rows_layout(self):
+        dist = error_distribution(np.ones(10), np.ones(10))
+        rows = dist.rows()
+        labels = [r[0] for r in rows]
+        assert labels == ["50", "75", "90", "99", "99.9", "Max.", "Avg."]
+
+    def test_custom_percentiles(self):
+        dist = error_distribution(
+            np.ones(100), np.ones(100), percentiles=(25.0, 95.0)
+        )
+        assert set(dist.percentile_errors) == {25.0, 95.0}
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            error_distribution(np.ones(5), np.ones(5), percentiles=(0.0,))
+
+    def test_paper_percentiles_constant(self):
+        assert PAPER_PERCENTILES == (50.0, 75.0, 90.0, 99.0, 99.9)
+
+
+class TestCountAbove:
+    def test_counts(self):
+        rc = np.ones(100)
+        rd = np.ones(100)
+        rd[:7] = 2.0
+        assert count_above(rd, rc, 0.5) == 7
+        assert count_above(rd, rc, 2.0) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            count_above(np.ones(2), np.ones(2), -0.1)

@@ -1,0 +1,103 @@
+"""Tests of the rank-ordering quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ranking import kendall_tau, precision_at_k, top_k_overlap
+
+
+class TestTopKOverlap:
+    def test_identical(self):
+        x = np.array([5.0, 3.0, 1.0, 4.0])
+        assert top_k_overlap(x, x, 2) == 1.0
+
+    def test_disjoint(self):
+        a = np.array([10.0, 9.0, 1.0, 0.5])
+        b = np.array([0.5, 1.0, 9.0, 10.0])
+        assert top_k_overlap(a, b, 2) == 0.0
+
+    def test_partial(self):
+        a = np.array([10.0, 9.0, 8.0, 0.0])
+        b = np.array([10.0, 0.0, 8.0, 9.0])
+        assert top_k_overlap(a, b, 2) == pytest.approx(0.5)
+
+    def test_k_clipped(self):
+        x = np.array([1.0, 2.0])
+        assert top_k_overlap(x, x, 100) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            top_k_overlap(np.ones(3), np.ones(4), 1)
+        with pytest.raises(ValueError):
+            top_k_overlap(np.ones(3), np.ones(3), 0)
+
+
+class TestKendallTau:
+    def test_perfect_agreement(self):
+        x = np.array([1.0, 5.0, 3.0, 2.0])
+        assert kendall_tau(x, x * 2 + 1) == pytest.approx(1.0)
+
+    def test_reversal(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert kendall_tau(x, -x) == pytest.approx(-1.0)
+
+    def test_tiny_vector(self):
+        assert kendall_tau(np.array([1.0]), np.array([2.0])) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            kendall_tau(np.ones(2), np.ones(3))
+
+
+class TestPrecisionAtK:
+    def test_exact_match(self):
+        assert precision_at_k(np.array([3, 1, 2]), np.array([3, 1, 2]), 2) == 1.0
+
+    def test_reordered_within_k_still_counts(self):
+        assert precision_at_k(np.array([1, 3]), np.array([3, 1]), 2) == 1.0
+
+    def test_miss(self):
+        assert precision_at_k(np.array([9, 8]), np.array([1, 2]), 2) == 0.0
+
+    def test_short_returned(self):
+        assert precision_at_k(np.array([1]), np.array([1, 2, 3]), 3) == pytest.approx(1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.array([1]), np.array([1]), 0)
+
+
+class TestOnRealRanks:
+    def test_distributed_preserves_ordering(self):
+        """The ordering the search layer consumes survives the
+        distributed approximation far better than worst-case value
+        error suggests."""
+        from repro.core import ChaoticPagerank, pagerank_reference
+        from repro.graphs import broder_graph
+
+        g = broder_graph(2000, seed=0)
+        ref = pagerank_reference(g).ranks
+        approx = ChaoticPagerank(g, epsilon=1e-3).run().ranks
+        assert top_k_overlap(approx, ref, 20) >= 0.95
+        assert top_k_overlap(approx, ref, 100) >= 0.95
+        assert kendall_tau(approx, ref) > 0.98
+
+    def test_incremental_search_returns_ideal_prefix(self, tiny_corpus):
+        from repro.search import (
+            DistributedIndex,
+            baseline_search,
+            generate_queries,
+            incremental_search,
+        )
+
+        rng = np.random.default_rng(1)
+        ranks = rng.pareto(1.2, tiny_corpus.num_documents) + 0.15
+        index = DistributedIndex(tiny_corpus, ranks, 8)
+        for q in generate_queries(tiny_corpus, num_queries=8, seed=2):
+            base = baseline_search(index, q)
+            inc = incremental_search(index, q, fraction=0.2)
+            if base.num_hits == 0 or inc.num_hits == 0:
+                continue
+            k = min(5, inc.num_hits, base.num_hits)
+            # incremental returns exactly the top of the ideal ranking
+            assert precision_at_k(inc.hits, base.hits, k) == 1.0

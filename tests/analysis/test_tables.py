@@ -1,0 +1,51 @@
+"""Tests of the plain-text table renderer."""
+
+import pytest
+
+from repro.analysis import format_table, format_value
+
+
+class TestFormatValue:
+    def test_int_grouping(self):
+        assert format_value(5_000_000) == "5,000,000"
+
+    def test_float_general(self):
+        assert format_value(0.5) == "0.5"
+        assert format_value(123.456) == "123"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_value(1e-7)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_value(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_value("eps") == "eps"
+
+
+class TestFormatTable:
+    def test_structure(self):
+        out = format_table(
+            ["a", "bb"], [[1, 2.5], [30, 0.001]], title="T"
+        )
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) == {"-"}
+        assert len(lines) == 5
+
+    def test_alignment(self):
+        out = format_table(["col"], [[1], [100]])
+        rows = out.split("\n")[2:]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out

@@ -1,0 +1,154 @@
+"""Tests of the convergence-trajectory analysis (§4.3 claims)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ConvergenceTrajectory,
+    convergence_trajectory,
+    passes_to_quality,
+)
+from repro.core import pagerank_reference
+from repro.graphs import broder_graph
+from repro.p2p import DocumentPlacement, FixedFractionChurn
+
+
+@pytest.fixture(scope="module")
+def traj():
+    g = broder_graph(2000, seed=0)
+    pl = DocumentPlacement.random(g.num_nodes, 50, seed=1)
+    return convergence_trajectory(g, pl.assignment, num_peers=50, epsilon=1e-4)
+
+
+class TestTrajectory:
+    def test_fractions_shape_and_bounds(self, traj):
+        assert traj.fractions.shape == (traj.passes, len(traj.bands))
+        assert np.all(traj.fractions >= 0)
+        assert np.all(traj.fractions <= 1)
+
+    def test_quality_eventually_high(self, traj):
+        # by the end of the run nearly everything is within 1%
+        assert traj.fractions[-1, 0] > 0.99
+
+    def test_wider_band_fills_first(self, traj):
+        # within-1% fraction always >= within-0.1% fraction
+        assert np.all(traj.fractions[:, 0] >= traj.fractions[:, 1] - 1e-12)
+
+    def test_passes_until(self, traj):
+        p = traj.passes_until(0.01, 0.99)
+        assert p is not None
+        assert 1 <= p <= traj.passes
+        # a stricter demand can't be met earlier
+        q = traj.passes_until(0.001, 0.99)
+        assert q is None or q >= p
+
+    def test_passes_until_unknown_band(self, traj):
+        with pytest.raises(ValueError, match="band"):
+            traj.passes_until(0.5, 0.9)
+
+    def test_headline_numbers(self, traj):
+        numbers = passes_to_quality(traj)
+        assert numbers["99pct_within_1pct"] is not None
+        assert numbers["all_within_0.1pct"] is not None
+        # the paper's regime: both well under 100 passes
+        assert numbers["99pct_within_1pct"] < 60
+        assert numbers["all_within_0.1pct"] < 100
+
+    def test_render(self, traj):
+        text = traj.render(every=5)
+        assert "Convergence trajectory" in text
+        assert "within 0.01" in text
+
+
+class TestOptions:
+    def test_with_precomputed_reference(self):
+        g = broder_graph(300, seed=2)
+        ref = pagerank_reference(g).ranks
+        t = convergence_trajectory(g, epsilon=1e-3, reference=ref)
+        assert t.passes > 0
+
+    def test_with_churn(self):
+        g = broder_graph(300, seed=3)
+        pl = DocumentPlacement.random(g.num_nodes, 10, seed=4)
+        t = convergence_trajectory(
+            g,
+            pl.assignment,
+            num_peers=10,
+            epsilon=1e-3,
+            availability=FixedFractionChurn(10, 0.5, seed=5),
+        )
+        assert t.fractions[-1, 0] > 0.95
+
+    def test_band_validation(self):
+        g = broder_graph(100, seed=6)
+        with pytest.raises(ValueError):
+            convergence_trajectory(g, bands=())
+        with pytest.raises(ValueError):
+            convergence_trajectory(g, bands=(0.0,))
+
+    def test_never_reached_returns_none(self):
+        g = broder_graph(100, seed=7)
+        t = convergence_trajectory(g, epsilon=0.15, bands=(1e-9,), max_passes=5)
+        assert t.passes_until(1e-9, 1.0) is None
+
+
+class TestTimeToQuality:
+    def test_combines_bytes_and_passes(self):
+        from repro.analysis import convergence_trajectory, time_to_quality
+
+        g = broder_graph(500, seed=10)
+        pl = DocumentPlacement.random(g.num_nodes, 10, seed=11)
+        traj, report = convergence_trajectory(
+            g, pl.assignment, num_peers=10, epsilon=1e-3, return_report=True
+        )
+        t = time_to_quality(
+            traj, report, band=0.01, fraction=0.99,
+            rate_bytes_per_s=32 * 1024,
+        )
+        assert t is not None and t > 0
+        # faster network => proportionally less time (no compute term)
+        t_fast = time_to_quality(
+            traj, report, band=0.01, fraction=0.99,
+            rate_bytes_per_s=64 * 1024,
+        )
+        assert t_fast == pytest.approx(t / 2)
+
+    def test_compute_term_added(self):
+        from repro.analysis import convergence_trajectory, time_to_quality
+
+        g = broder_graph(300, seed=12)
+        traj, report = convergence_trajectory(
+            g, epsilon=1e-2, return_report=True
+        )
+        base = time_to_quality(
+            traj, report, band=0.01, fraction=0.9, rate_bytes_per_s=1e6
+        )
+        with_cpu = time_to_quality(
+            traj, report, band=0.01, fraction=0.9, rate_bytes_per_s=1e6,
+            compute_time_per_pass=1.0,
+        )
+        p = traj.passes_until(0.01, 0.9)
+        assert with_cpu == pytest.approx(base + p)
+
+    def test_unreachable_returns_none(self):
+        from repro.analysis import convergence_trajectory, time_to_quality
+
+        g = broder_graph(200, seed=13)
+        traj, report = convergence_trajectory(
+            g, epsilon=0.15, bands=(1e-9,), max_passes=4, return_report=True
+        )
+        assert time_to_quality(
+            traj, report, band=1e-9, fraction=1.0, rate_bytes_per_s=1e6
+        ) is None
+
+    def test_requires_history(self):
+        from repro.analysis import convergence_trajectory, time_to_quality
+        from repro.core import ChaoticPagerank
+
+        g = broder_graph(200, seed=14)
+        traj = convergence_trajectory(g, epsilon=1e-2)
+        bare = ChaoticPagerank(g, epsilon=1e-2).run(keep_history=False)
+        with pytest.raises(ValueError, match="history"):
+            time_to_quality(
+                traj, bare, band=0.01, fraction=0.5, rate_bytes_per_s=1e6
+            )

@@ -1,0 +1,64 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graphs import LinkGraph, broder_graph, figure2_graph, two_peer_example
+from repro.p2p import DocumentPlacement, P2PNetwork
+from repro.search import CorpusConfig, synthesize_corpus
+
+# Property tests run numeric kernels; the default 200 ms deadline is
+# too flaky under load, and shrinking large graph examples is slow.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=50,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def small_powerlaw() -> LinkGraph:
+    """A 300-node §4.1 graph shared by fast tests."""
+    return broder_graph(300, seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_powerlaw() -> LinkGraph:
+    """A 3000-node §4.1 graph for convergence-quality tests."""
+    return broder_graph(3000, seed=11)
+
+
+@pytest.fixture()
+def fig2():
+    """The paper's Figure 2 graph plus its name->index map."""
+    return figure2_graph()
+
+
+@pytest.fixture()
+def two_peer_graph() -> LinkGraph:
+    return two_peer_example()
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A small synthetic corpus (fast to build, still Zipf-shaped)."""
+    cfg = CorpusConfig(
+        num_documents=400,
+        vocab_size=150,
+        num_stopwords=20,
+        raw_vocab_size=1_000,
+        mean_terms_per_doc=80.0,
+    )
+    return synthesize_corpus(cfg, seed=3)
+
+
+@pytest.fixture()
+def small_network(small_powerlaw) -> P2PNetwork:
+    """10-peer network with a random placement over the small graph."""
+    placement = DocumentPlacement.random(small_powerlaw.num_nodes, 10, seed=5)
+    return P2PNetwork(10, placement, build_ring=False)

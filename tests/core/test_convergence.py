@@ -1,0 +1,73 @@
+"""Tests of the convergence tracker and run reports."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvergenceTracker, PassStats, RunReport
+
+
+def make_stats(i, messages=10, max_change=0.5):
+    return PassStats(
+        pass_index=i,
+        max_rel_change=max_change,
+        active_documents=3,
+        messages=messages,
+        deferred_messages=0,
+        live_peers=5,
+        computed_documents=20,
+    )
+
+
+class TestTracker:
+    def test_accumulates_totals(self):
+        t = ConvergenceTracker(1e-3)
+        for i in range(4):
+            t.record(make_stats(i, messages=i * 10))
+        report = t.finish(np.ones(5), True)
+        assert report.passes == 4
+        assert report.total_messages == 60
+        assert report.converged
+        assert report.epsilon == 1e-3
+        assert len(report.history) == 4
+
+    def test_history_optional(self):
+        t = ConvergenceTracker(1e-3, keep_history=False)
+        t.record(make_stats(0))
+        report = t.finish(np.ones(2), False)
+        assert report.history == ()
+        assert report.total_messages == 10
+
+    def test_empty_run(self):
+        report = ConvergenceTracker(0.5).finish(np.zeros(0), True)
+        assert report.passes == 0
+        assert report.messages_per_document == 0.0
+
+
+class TestRunReport:
+    def test_series_accessors(self):
+        t = ConvergenceTracker(1e-3)
+        t.record(make_stats(0, messages=5, max_change=0.9))
+        t.record(make_stats(1, messages=2, max_change=0.1))
+        report = t.finish(np.ones(10), True)
+        assert report.messages_by_pass().tolist() == [5, 2]
+        assert np.allclose(report.max_change_by_pass(), [0.9, 0.1])
+
+    def test_messages_per_document(self):
+        t = ConvergenceTracker(1e-3)
+        t.record(make_stats(0, messages=30))
+        report = t.finish(np.ones(10), True)
+        assert report.messages_per_document == pytest.approx(3.0)
+
+    def test_frozen(self):
+        report = ConvergenceTracker(0.1).finish(np.ones(1), True)
+        with pytest.raises(AttributeError):
+            report.passes = 99
+
+
+def test_bytes_by_pass():
+    t = ConvergenceTracker(1e-3)
+    t.record(make_stats(0, messages=5))
+    t.record(make_stats(1, messages=2))
+    report = t.finish(np.ones(4), True)
+    assert report.bytes_by_pass().tolist() == [120, 48]
+    assert report.bytes_by_pass(message_size_bytes=10).tolist() == [50, 20]

@@ -1,0 +1,206 @@
+"""Tests of the churn path: store-and-resend, availability models."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChaoticPagerank, pagerank_reference
+from repro.graphs import broder_graph
+from repro.p2p import AlwaysOn, DocumentPlacement, FixedFractionChurn, IndependentChurn, MarkovChurn
+
+
+@pytest.fixture(scope="module")
+def setting():
+    g = broder_graph(800, seed=21)
+    pl = DocumentPlacement.random(g.num_nodes, 20, seed=22)
+    return g, pl
+
+
+class TestChurnConvergence:
+    def test_converges_under_half_availability(self, setting):
+        g, pl = setting
+        engine = ChaoticPagerank(g, pl.assignment, num_peers=20, epsilon=1e-3)
+        report = engine.run(
+            availability=FixedFractionChurn(20, 0.5, seed=1), max_passes=5000
+        )
+        assert report.converged
+
+    def test_churn_slows_convergence(self, setting):
+        g, pl = setting
+        engine = ChaoticPagerank(g, pl.assignment, num_peers=20, epsilon=1e-3)
+        static = engine.run()
+        churned = engine.run(
+            availability=FixedFractionChurn(20, 0.5, seed=2), max_passes=5000
+        )
+        assert churned.passes > static.passes
+
+    def test_churn_quality_comparable_to_static(self, setting):
+        # §3.1's claim: no updates are lost, so the final ranks are as
+        # good as the static run's (both within the eps-governed bound
+        # of the reference).
+        g, pl = setting
+        ref = pagerank_reference(g).ranks
+        engine = ChaoticPagerank(g, pl.assignment, num_peers=20, epsilon=1e-4)
+        churned = engine.run(
+            availability=FixedFractionChurn(20, 0.5, seed=3), max_passes=10000
+        )
+        assert churned.converged
+        rel = np.abs(churned.ranks - ref) / ref
+        assert np.percentile(rel, 99) < 0.01
+
+    def test_alwayson_equals_static_path(self, setting):
+        g, pl = setting
+        engine = ChaoticPagerank(g, pl.assignment, num_peers=20, epsilon=1e-3)
+        static = engine.run()
+        always = engine.run(availability=AlwaysOn(20))
+        assert static.passes == always.passes
+        assert static.total_messages == always.total_messages
+        assert np.allclose(static.ranks, always.ranks, rtol=1e-12)
+
+    def test_markov_churn_converges(self, setting):
+        g, pl = setting
+        engine = ChaoticPagerank(g, pl.assignment, num_peers=20, epsilon=1e-3)
+        model = MarkovChurn(20, p_leave=0.2, p_join=0.4, seed=4)
+        report = engine.run(availability=model, max_passes=8000)
+        assert report.converged
+
+    def test_independent_churn_converges(self, setting):
+        g, pl = setting
+        engine = ChaoticPagerank(g, pl.assignment, num_peers=20, epsilon=1e-3)
+        report = engine.run(
+            availability=IndependentChurn(20, 0.7, seed=5), max_passes=8000
+        )
+        assert report.converged
+
+
+class TestChurnAccounting:
+    def test_deferred_messages_reported(self, setting):
+        g, pl = setting
+        engine = ChaoticPagerank(g, pl.assignment, num_peers=20, epsilon=1e-3)
+        report = engine.run(
+            availability=FixedFractionChurn(20, 0.5, seed=6), max_passes=5000
+        )
+        assert any(p.deferred_messages > 0 for p in report.history)
+
+    def test_live_peer_counts_recorded(self, setting):
+        g, pl = setting
+        engine = ChaoticPagerank(g, pl.assignment, num_peers=20, epsilon=1e-2)
+        report = engine.run(availability=FixedFractionChurn(20, 0.75, seed=7))
+        for p in report.history:
+            assert p.live_peers == 15
+
+    def test_bad_availability_shape_raises(self, setting):
+        g, pl = setting
+        engine = ChaoticPagerank(g, pl.assignment, num_peers=20, epsilon=1e-2)
+
+        class Wrong:
+            def sample(self, t):
+                return np.ones(3, dtype=bool)
+
+        with pytest.raises(ValueError, match="shape"):
+            engine.run(availability=Wrong())
+
+
+class TestAvailabilityModels:
+    def test_fixed_fraction_exact_count(self):
+        model = FixedFractionChurn(40, 0.75, seed=0)
+        for t in range(5):
+            assert int(model.sample(t).sum()) == 30
+
+    def test_fixed_fraction_at_least_one(self):
+        model = FixedFractionChurn(10, 0.01, seed=0)
+        assert int(model.sample(0).sum()) == 1
+
+    def test_fixed_fraction_membership_varies(self):
+        model = FixedFractionChurn(100, 0.5, seed=1)
+        a, b = model.sample(0), model.sample(1)
+        assert not np.array_equal(a, b)
+
+    def test_independent_mean_rate(self):
+        model = IndependentChurn(2000, 0.7, seed=2)
+        rate = model.sample(0).mean()
+        assert abs(rate - 0.7) < 0.05
+
+    def test_markov_stationary_availability(self):
+        model = MarkovChurn(500, p_leave=0.1, p_join=0.3, seed=3)
+        assert model.stationary_availability == pytest.approx(0.75)
+        # Burn in, then check the empirical rate.
+        for t in range(200):
+            mask = model.sample(t)
+        assert abs(mask.mean() - 0.75) < 0.1
+
+    def test_markov_spells_are_correlated(self):
+        model = MarkovChurn(200, p_leave=0.05, p_join=0.05, seed=4)
+        a = model.sample(0)
+        b = model.sample(1)
+        # With tiny flip rates, consecutive states mostly agree.
+        assert (a == b).mean() > 0.85
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            AlwaysOn(0)
+        with pytest.raises(ValueError):
+            FixedFractionChurn(10, 0.0)
+        with pytest.raises(ValueError):
+            FixedFractionChurn(0, 0.5)
+        with pytest.raises(ValueError):
+            IndependentChurn(10, 1.5)
+        with pytest.raises(ValueError):
+            MarkovChurn(10, p_leave=0.5, p_join=0.0)
+
+    def test_deterministic_with_seed(self):
+        a = FixedFractionChurn(30, 0.5, seed=9)
+        b = FixedFractionChurn(30, 0.5, seed=9)
+        for t in range(3):
+            assert np.array_equal(a.sample(t), b.sample(t))
+
+
+class TestChurnProperties:
+    """Property-based: arbitrary availability processes never break the
+    engine's guarantees."""
+
+    @pytest.fixture(scope="class")
+    def small(self):
+        g = broder_graph(200, seed=77)
+        pl = DocumentPlacement.random(g.num_nodes, 8, seed=78)
+        ref = pagerank_reference(g).ranks
+        return g, pl, ref
+
+    def test_random_markov_params_converge_correctly(self, small):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        g, pl, ref = small
+
+        @given(
+            p_leave=st.floats(0.05, 0.5),
+            p_join=st.floats(0.2, 0.9),
+            seed=st.integers(0, 10_000),
+        )
+        @settings(max_examples=10, deadline=None)
+        def check(p_leave, p_join, seed):
+            engine = ChaoticPagerank(g, pl.assignment, num_peers=8, epsilon=1e-3)
+            model = MarkovChurn(8, p_leave=p_leave, p_join=p_join, seed=seed)
+            report = engine.run(availability=model, max_passes=20_000)
+            assert report.converged
+            rel = np.abs(report.ranks - ref) / ref
+            assert np.percentile(rel, 99) < 0.05
+
+        check()
+
+    def test_adversarial_availability_never_false_certifies(self, small):
+        """Whatever the availability pattern, a converged=True report
+        must actually be at the epsilon fixed point: re-running the
+        engine statically from the result generates (almost) no new
+        messages."""
+        g, pl, ref = small
+        engine = ChaoticPagerank(g, pl.assignment, num_peers=8, epsilon=1e-3)
+        report = engine.run(
+            availability=FixedFractionChurn(8, 0.4, seed=9), max_passes=20_000
+        )
+        assert report.converged
+        recheck = engine.run(initial_ranks=report.ranks, max_passes=200)
+        assert recheck.converged
+        # warm restart publishes withheld residuals; the follow-up work
+        # must be a small fraction of a cold run's.
+        cold = engine.run()
+        assert recheck.total_messages < 0.3 * cold.total_messages

@@ -1,0 +1,215 @@
+"""Tests of incremental insert/delete propagation (§3.1, §4.7, Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChaoticPagerank,
+    delete_document,
+    insert_document,
+    pagerank_reference,
+    propagate_increment,
+    simulate_delete,
+    simulate_insert,
+)
+from repro.graphs import broder_graph, cycle_graph, figure2_graph
+
+
+class TestFigure2:
+    """The paper's worked example, with damping 1 as in the figure."""
+
+    def test_exact_increments(self, fig2):
+        g, idx = fig2
+        result = propagate_increment(g, idx["G"], 1.0, damping=1.0, epsilon=0.01)
+        delta = result.rank_delta
+        assert delta[idx["G"]] == pytest.approx(1.0)
+        assert delta[idx["H"]] == pytest.approx(1 / 3)
+        assert delta[idx["I"]] == pytest.approx(1 / 3)
+        assert delta[idx["J"]] == pytest.approx(1 / 3)
+        assert delta[idx["K"]] == pytest.approx(1 / 6)
+        assert delta[idx["L"]] == pytest.approx(1 / 6)
+        assert delta[idx["M"]] == pytest.approx(1 / 3)
+
+    def test_counts_at_loose_threshold(self, fig2):
+        g, idx = fig2
+        # eps=0.2 absolute: G (1.0) forwards thirds; H's 1/3 forwards
+        # sixths which fall below 0.2, I forwards its full 1/3 to M.
+        result = propagate_increment(g, idx["G"], 1.0, damping=1.0, epsilon=0.2)
+        assert result.path_length == 2
+        assert result.node_coverage == 6  # everyone but G heard something
+        assert result.messages == 6  # 3 (G->H,I,J) + 2 (H->K,L) + 1 (I->M)
+
+    def test_tighter_threshold_reaches_farther(self, fig2):
+        g, idx = fig2
+        loose = propagate_increment(g, idx["G"], 1.0, damping=1.0, epsilon=0.5)
+        tight = propagate_increment(g, idx["G"], 1.0, damping=1.0, epsilon=0.01)
+        assert loose.messages < tight.messages
+        assert loose.path_length <= tight.path_length
+
+
+class TestPropagationMechanics:
+    def test_dangling_source_sends_nothing(self, fig2):
+        g, idx = fig2
+        result = propagate_increment(g, idx["M"], 1.0, epsilon=1e-3)
+        assert result.messages == 0
+        assert result.path_length == 0
+        assert result.node_coverage == 0
+
+    def test_below_threshold_increment_stops_immediately(self, fig2):
+        g, idx = fig2
+        result = propagate_increment(g, idx["G"], 1e-6, epsilon=1e-3)
+        assert result.messages == 0
+
+    def test_negative_increment_propagates_symmetrically(self, fig2):
+        g, idx = fig2
+        pos = propagate_increment(g, idx["G"], 1.0, damping=1.0, epsilon=0.01)
+        neg = propagate_increment(g, idx["G"], -1.0, damping=1.0, epsilon=0.01)
+        assert np.allclose(pos.rank_delta, -neg.rank_delta)
+        assert pos.messages == neg.messages
+
+    def test_cycle_with_damping_terminates(self):
+        g = cycle_graph(5)
+        result = propagate_increment(g, 0, 1.0, damping=0.85, epsilon=1e-6)
+        assert not result.truncated
+        # geometric decay around the cycle: total delta at source is
+        # 1/(1 - 0.85^5) of its own increments... just check finiteness
+        assert np.isfinite(result.rank_delta).all()
+
+    def test_cycle_with_damping_one_truncates(self):
+        # d=1 on a cycle never decays: the max_depth guard must fire.
+        g = cycle_graph(4)
+        result = propagate_increment(
+            g, 0, 1.0, damping=1.0, epsilon=1e-6, max_depth=50
+        )
+        assert result.truncated
+        assert result.path_length <= 50
+
+    def test_relative_mode_uses_base_ranks(self, medium_powerlaw):
+        base = pagerank_reference(medium_powerlaw).ranks
+        absolute = simulate_insert(medium_powerlaw, 10, epsilon=1e-4)
+        relative = simulate_insert(
+            medium_powerlaw, 10, epsilon=1e-4, base_ranks=base
+        )
+        # Hubs with large ranks absorb increments in relative mode.
+        assert relative.messages <= absolute.messages
+
+    def test_coverage_counts_distinct_receivers(self, fig2):
+        g, idx = fig2
+        result = propagate_increment(g, idx["G"], 1.0, damping=1.0, epsilon=1e-4)
+        assert result.node_coverage == 6
+
+    def test_validation(self, fig2):
+        g, idx = fig2
+        with pytest.raises(ValueError):
+            propagate_increment(g, 0, 1.0, epsilon=0.0)
+        with pytest.raises(ValueError):
+            propagate_increment(g, 0, 1.0, damping=1.5)
+        with pytest.raises(ValueError):
+            propagate_increment(g, 0, 1.0, max_depth=0)
+        with pytest.raises(IndexError):
+            propagate_increment(g, 99, 1.0)
+        with pytest.raises(ValueError):
+            propagate_increment(g, 0, 1.0, base_ranks=np.ones(3))
+
+
+class TestTable4Trends:
+    """The shape claims behind Table 4 on a real power-law graph."""
+
+    @pytest.fixture(scope="class")
+    def graph_and_ranks(self):
+        g = broder_graph(3000, seed=31)
+        return g, pagerank_reference(g).ranks
+
+    def test_path_length_grows_with_tighter_epsilon(self, graph_and_ranks):
+        g, base = graph_and_ranks
+        rng = np.random.default_rng(0)
+        nodes = rng.choice(g.num_nodes, 30, replace=False)
+        means = []
+        for eps in (0.2, 1e-3, 1e-5):
+            lengths = [
+                simulate_insert(g, int(n), epsilon=eps, base_ranks=base).path_length
+                for n in nodes
+            ]
+            means.append(np.mean(lengths))
+        assert means[0] < means[1] < means[2]
+
+    def test_coverage_grows_with_tighter_epsilon(self, graph_and_ranks):
+        g, base = graph_and_ranks
+        rng = np.random.default_rng(1)
+        nodes = rng.choice(g.num_nodes, 30, replace=False)
+        means = []
+        for eps in (0.2, 1e-3, 1e-5):
+            covs = [
+                simulate_insert(g, int(n), epsilon=eps, base_ranks=base).node_coverage
+                for n in nodes
+            ]
+            means.append(np.mean(covs))
+        assert means[0] < means[1] < means[2]
+
+    def test_coverage_bounds_messages_receivers(self, graph_and_ranks):
+        g, base = graph_and_ranks
+        result = simulate_insert(g, 5, epsilon=1e-3, base_ranks=base)
+        assert result.node_coverage <= result.messages
+
+
+class TestStructuralInsertDelete:
+    def test_insert_document_matches_reconverged_reference(self):
+        g = broder_graph(500, seed=41)
+        ranks = pagerank_reference(g).ranks
+        new_graph, new_ranks, result = insert_document(
+            g, [1, 2, 3], ranks, epsilon=1e-6
+        )
+        assert new_graph.num_nodes == g.num_nodes + 1
+        ref = pagerank_reference(new_graph).ranks
+        # The incremental result approximates the full recompute; the
+        # error is governed by epsilon.
+        rel = np.abs(new_ranks - ref) / ref
+        assert np.percentile(rel, 99) < 0.01
+
+    def test_insert_then_delete_restores_ranks(self):
+        g = broder_graph(400, seed=42)
+        ranks = pagerank_reference(g).ranks
+        g2, r2, _ = insert_document(g, [0, 5], ranks, epsilon=1e-7)
+        new_id = g.num_nodes
+        g3, r3, _ = delete_document(g2, new_id, r2, epsilon=1e-7)
+        assert g3 == g
+        assert np.allclose(r3, ranks, rtol=1e-2, atol=1e-3)
+
+    def test_simulate_delete_sends_negative_rank(self):
+        g, idx = figure2_graph()
+        ranks = pagerank_reference(g).ranks
+        result = simulate_delete(g, idx["G"], ranks, damping=1.0, epsilon=1e-6)
+        # G's out-neighbours lose a share of G's rank.
+        assert result.rank_delta[idx["H"]] < 0
+
+    def test_delete_document_renumbers(self):
+        g = broder_graph(100, seed=43)
+        ranks = pagerank_reference(g).ranks
+        g2, r2, _ = delete_document(g, 10, ranks)
+        assert g2.num_nodes == 99
+        assert r2.shape == (99,)
+
+    def test_insert_validation(self):
+        g = broder_graph(50, seed=44)
+        with pytest.raises(ValueError):
+            insert_document(g, [0], np.ones(3))
+        with pytest.raises(ValueError):
+            simulate_delete(g, 0, np.ones(3))
+
+
+class TestWarmStartIntegration:
+    def test_incremental_update_then_engine_settles_quickly(self):
+        """§3.1: inserted documents integrate without global recompute."""
+        g = broder_graph(600, seed=45)
+        eps = 1e-5
+        base_report = ChaoticPagerank(g, epsilon=eps).run()
+        g2, warm_ranks, _ = insert_document(
+            g, [3, 7, 11], base_report.ranks, epsilon=eps
+        )
+        engine = ChaoticPagerank(g2, epsilon=eps)
+        cold = engine.run()
+        warm = engine.run(initial_ranks=warm_ranks)
+        assert warm.converged
+        # Warm start from the incrementally updated ranks costs far
+        # fewer messages than recomputing from scratch.
+        assert warm.total_messages < 0.2 * cold.total_messages

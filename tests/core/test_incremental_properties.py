@@ -1,0 +1,103 @@
+"""Property-based tests of the increment-propagation machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import propagate_deltas, propagate_increment
+from repro.graphs import LinkGraph, broder_graph
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(edge_lists, st.integers(0, 9), st.floats(0.05, 0.95))
+@settings(max_examples=40)
+def test_propagation_terminates_and_counts_consistent(edges, source, damping):
+    g = LinkGraph.from_edges(edges, num_nodes=10)
+    result = propagate_increment(
+        g, source, 1.0, damping=damping, epsilon=1e-4, max_depth=10_000
+    )
+    assert not result.truncated  # damping < 1 always terminates
+    assert result.node_coverage <= result.messages or result.messages == 0
+    assert result.path_length >= 0
+    if result.messages == 0:
+        assert result.node_coverage == 0
+
+
+@given(edge_lists, st.integers(0, 9))
+@settings(max_examples=30)
+def test_linearity_in_increment(edges, source):
+    """Propagation is linear: doubling the increment doubles every
+    delta (threshold effects aside, which we avoid by scaling eps)."""
+    g = LinkGraph.from_edges(edges, num_nodes=10)
+    one = propagate_increment(g, source, 1.0, epsilon=1e-3)
+    two = propagate_increment(g, source, 2.0, epsilon=2e-3)
+    assert np.allclose(two.rank_delta, 2.0 * one.rank_delta)
+    assert one.messages == two.messages
+
+
+@given(edge_lists, st.integers(0, 9))
+@settings(max_examples=30)
+def test_sign_symmetry(edges, source):
+    g = LinkGraph.from_edges(edges, num_nodes=10)
+    pos = propagate_increment(g, source, 0.7, epsilon=1e-3)
+    neg = propagate_increment(g, source, -0.7, epsilon=1e-3)
+    assert np.allclose(pos.rank_delta, -neg.rank_delta)
+    assert pos.node_coverage == neg.node_coverage
+
+
+@given(edge_lists)
+@settings(max_examples=30)
+def test_propagate_deltas_superposition(edges):
+    """Injecting two deltas at once equals the sum of injecting them
+    separately when thresholds don't bite (eps tiny)."""
+    g = LinkGraph.from_edges(edges, num_nodes=10)
+    a = propagate_increment(g, 0, 0.5, epsilon=1e-9)
+    b = propagate_increment(g, 5, 0.5, epsilon=1e-9)
+    # inject the same post-arrival deltas at the two sources' targets
+    both = propagate_deltas(
+        g,
+        np.array([0, 5]),
+        np.array([0.5, 0.5]),
+        epsilon=1e-9,
+    )
+    # propagate_deltas treats the injected nodes as *receivers* that
+    # then forward; compare against manual superposition of the same
+    # construction.
+    sep_a = propagate_deltas(g, np.array([0]), np.array([0.5]), epsilon=1e-9)
+    sep_b = propagate_deltas(g, np.array([5]), np.array([0.5]), epsilon=1e-9)
+    assert np.allclose(both.rank_delta, sep_a.rank_delta + sep_b.rank_delta)
+    # unused but keeps the hypothesis example meaningful
+    assert a.messages >= 0 and b.messages >= 0
+
+
+def test_tighter_epsilon_superset_coverage():
+    g = broder_graph(500, seed=11)
+    loose = propagate_increment(g, 3, 1.0, epsilon=1e-2)
+    tight = propagate_increment(g, 3, 1.0, epsilon=1e-5)
+    assert tight.node_coverage >= loose.node_coverage
+    assert tight.messages >= loose.messages
+    assert tight.path_length >= loose.path_length
+
+
+def test_rank_delta_solves_perturbed_system():
+    """For eps→0 the accumulated deltas satisfy the linear relation
+    delta = d·Aᵀ D⁻¹ delta + injection, i.e. propagation really is the
+    incremental solve of the pagerank system."""
+    g = broder_graph(200, seed=12)
+    d = 0.85
+    result = propagate_increment(g, 7, 1.0, damping=d, epsilon=1e-12)
+    delta = result.rank_delta
+    out_deg = g.out_degrees().astype(float)
+    # compute d * sum_in delta_j/N_j for every node
+    contrib = np.zeros_like(delta)
+    for u, v in g.iter_edges():
+        contrib[v] += d * delta[u] / out_deg[u]
+    expected = contrib
+    expected[7] += 1.0  # the injected unit at the source
+    assert np.allclose(delta, expected, atol=1e-9)

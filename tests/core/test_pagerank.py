@@ -1,0 +1,119 @@
+"""Tests of the synchronous reference pagerank solver."""
+
+import numpy as np
+import pytest
+
+from repro.core import DEFAULT_DAMPING, pagerank_reference
+from repro.graphs import (
+    LinkGraph,
+    broder_graph,
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    star_graph,
+)
+
+
+class TestAnalyticFixedPoints:
+    def test_cycle_is_uniform(self):
+        result = pagerank_reference(cycle_graph(8))
+        assert result.converged
+        assert np.allclose(result.ranks, 1.0)
+
+    def test_complete_graph_is_uniform(self):
+        result = pagerank_reference(complete_graph(6))
+        assert np.allclose(result.ranks, 1.0)
+
+    def test_star_hub_rank_analytic(self):
+        # Leaves have no in-links: rank (1-d).  Hub receives the full
+        # contribution of every leaf: (1-d) + d*(n-1)*(1-d).
+        n, d = 10, DEFAULT_DAMPING
+        result = pagerank_reference(star_graph(n))
+        leaf = 1.0 - d
+        hub = (1.0 - d) + d * (n - 1) * leaf
+        assert result.ranks[0] == pytest.approx(hub, rel=1e-9)
+        assert np.allclose(result.ranks[1:], leaf)
+
+    def test_chain_recursive_values(self):
+        # rank(0) = 1-d;  rank(i) = (1-d) + d*rank(i-1)  (outdeg 1).
+        d = DEFAULT_DAMPING
+        result = pagerank_reference(chain_graph(5))
+        expected = [1.0 - d]
+        for _ in range(4):
+            expected.append((1.0 - d) + d * expected[-1])
+        assert np.allclose(result.ranks, expected)
+
+    def test_rank_sum_close_to_n_without_dangling(self):
+        g = cycle_graph(50)
+        result = pagerank_reference(g)
+        assert result.ranks.sum() == pytest.approx(50.0, rel=1e-9)
+
+
+class TestAgainstNetworkx:
+    def test_matches_networkx_normalized(self):
+        nx = pytest.importorskip("networkx")
+        g = broder_graph(500, seed=13)
+        result = pagerank_reference(g, tol=1e-14)
+        nxg = nx.DiGraph(list(g.iter_edges()))
+        nxg.add_nodes_from(range(g.num_nodes))
+        nx_pr = nx.pagerank(nxg, alpha=DEFAULT_DAMPING, tol=1e-13, max_iter=500)
+        # Our unnormalized formulation divided by N equals networkx's
+        # normalized one when the graph has no dangling nodes.
+        assert g.dangling_nodes().size == 0
+        ours = result.ranks / g.num_nodes
+        theirs = np.array([nx_pr[i] for i in range(g.num_nodes)])
+        assert np.allclose(ours, theirs, rtol=1e-6)
+
+
+class TestSolverBehaviour:
+    def test_iteration_budget_reported(self):
+        g = broder_graph(300, seed=1)
+        result = pagerank_reference(g, max_iter=2)
+        assert not result.converged
+        assert result.iterations == 2
+        assert result.residual > 0
+
+    def test_tight_tolerance_converges(self, medium_powerlaw):
+        result = pagerank_reference(medium_powerlaw, tol=1e-13)
+        assert result.converged
+        assert result.residual < 1e-13
+
+    def test_init_rank_does_not_change_fixed_point(self, small_powerlaw):
+        a = pagerank_reference(small_powerlaw, init_rank=1.0)
+        b = pagerank_reference(small_powerlaw, init_rank=7.0)
+        assert np.allclose(a.ranks, b.ranks, rtol=1e-8)
+
+    def test_dangling_none_leaks_rank(self):
+        # Chain: the dangling tail absorbs rank, sum < n.
+        result = pagerank_reference(chain_graph(5))
+        assert result.ranks.sum() < 5.0
+
+    def test_dangling_redistribute_conserves_more(self):
+        plain = pagerank_reference(chain_graph(5))
+        redis = pagerank_reference(chain_graph(5), dangling="redistribute")
+        assert redis.ranks.sum() > plain.ranks.sum()
+        assert redis.ranks.sum() == pytest.approx(5.0, rel=1e-6)
+
+    def test_empty_graph(self):
+        result = pagerank_reference(LinkGraph.from_edges([], num_nodes=0))
+        assert result.converged
+        assert result.ranks.size == 0
+
+    def test_isolated_nodes_get_floor_rank(self):
+        g = LinkGraph.from_edges([(0, 1)], num_nodes=4)
+        result = pagerank_reference(g)
+        floor = 1.0 - DEFAULT_DAMPING
+        assert result.ranks[2] == pytest.approx(floor)
+        assert result.ranks[3] == pytest.approx(floor)
+
+    def test_argument_validation(self, small_powerlaw):
+        with pytest.raises(ValueError):
+            pagerank_reference(small_powerlaw, damping=1.5)
+        with pytest.raises(ValueError):
+            pagerank_reference(small_powerlaw, tol=0.0)
+        with pytest.raises(ValueError):
+            pagerank_reference(small_powerlaw, max_iter=0)
+        with pytest.raises(ValueError):
+            pagerank_reference(small_powerlaw, dangling="bogus")
+        with pytest.raises(ValueError):
+            pagerank_reference(small_powerlaw, init_rank=0.0)

@@ -1,0 +1,120 @@
+"""Tests of personalized / topic-sensitive pagerank."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    pagerank_reference,
+    personalized_chaotic,
+    personalized_reference,
+    topic_vector,
+)
+from repro.graphs import broder_graph
+from repro.p2p import DocumentPlacement
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return broder_graph(800, seed=9)
+
+
+class TestTopicVector:
+    def test_full_weight_on_topic(self):
+        v = topic_vector(10, [1, 3])
+        assert v.sum() == pytest.approx(1.0)
+        assert v[1] == v[3] == pytest.approx(0.5)
+        assert v[0] == 0.0
+
+    def test_blended_weight(self):
+        v = topic_vector(10, [0], weight=0.5)
+        assert v.sum() == pytest.approx(1.0)
+        assert v[0] == pytest.approx(0.5 + 0.05)
+        assert v[5] == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            topic_vector(10, [])
+        with pytest.raises(ValueError):
+            topic_vector(10, [100])
+        with pytest.raises(ValueError):
+            topic_vector(10, [0], weight=1.5)
+        with pytest.raises(ValueError):
+            topic_vector(0, [0])
+
+
+class TestPersonalizedReference:
+    def test_uniform_preference_matches_global(self, graph):
+        uniform = np.full(graph.num_nodes, 1.0 / graph.num_nodes)
+        personalized = personalized_reference(graph, uniform)
+        plain = pagerank_reference(graph)
+        assert np.allclose(personalized.ranks, plain.ranks, rtol=1e-8)
+
+    def test_topic_bias_raises_seed_ranks(self, graph):
+        seeds = [0, 1, 2]
+        v = topic_vector(graph.num_nodes, seeds)
+        biased = personalized_reference(graph, v)
+        plain = pagerank_reference(graph)
+        for doc in seeds:
+            assert biased.ranks[doc] > plain.ranks[doc]
+
+    def test_teleport_mass_conserved_shape(self, graph):
+        v = topic_vector(graph.num_nodes, [5])
+        result = personalized_reference(graph, v)
+        assert result.converged
+        assert np.all(result.ranks >= 0)
+
+    def test_unnormalized_preference_is_normalized(self, graph):
+        v = np.zeros(graph.num_nodes)
+        v[:3] = 7.0  # not summing to 1
+        result = personalized_reference(graph, v)
+        assert result.converged
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            personalized_reference(graph, np.ones(3))
+        with pytest.raises(ValueError):
+            personalized_reference(graph, -np.ones(graph.num_nodes))
+        with pytest.raises(ValueError):
+            personalized_reference(graph, np.zeros(graph.num_nodes))
+
+
+class TestPersonalizedChaotic:
+    def test_matches_reference(self, graph):
+        v = topic_vector(graph.num_nodes, [0, 10, 20], weight=0.8)
+        ref = personalized_reference(graph, v).ranks
+        pl = DocumentPlacement.random(graph.num_nodes, 20, seed=0)
+        report = personalized_chaotic(
+            graph, v, pl.assignment, epsilon=1e-6
+        )
+        assert report.converged
+        rel = np.abs(report.ranks - ref) / np.maximum(ref, 1e-12)
+        assert np.percentile(rel, 99) < 1e-3
+
+    def test_message_cost_comparable_to_global(self, graph):
+        """Topic sensitivity is free in communication: teleport terms
+        are local state."""
+        from repro.core import ChaoticPagerank
+
+        pl = DocumentPlacement.random(graph.num_nodes, 20, seed=1)
+        global_run = ChaoticPagerank(
+            graph, pl.assignment, num_peers=20, epsilon=1e-4
+        ).run()
+        v = topic_vector(graph.num_nodes, [0, 1], weight=0.5)
+        topic_run = personalized_chaotic(
+            graph, v, pl.assignment, epsilon=1e-4
+        )
+        assert topic_run.total_messages < 3 * global_run.total_messages
+
+    def test_default_assignment(self, graph):
+        v = topic_vector(graph.num_nodes, [0])
+        report = personalized_chaotic(graph, v, epsilon=1e-3)
+        assert report.converged
+
+    def test_validation(self, graph):
+        v = topic_vector(graph.num_nodes, [0])
+        with pytest.raises(ValueError):
+            personalized_chaotic(graph, v, epsilon=0.0)
+        with pytest.raises(ValueError):
+            personalized_chaotic(graph, v, np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError):
+            personalized_chaotic(graph, v, max_passes=0)

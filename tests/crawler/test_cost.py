@@ -1,0 +1,85 @@
+"""Tests of the §5 centralized-crawler cost comparison."""
+
+import pytest
+
+from repro.crawler import (
+    DEFAULT_DOC_BYTES,
+    LINK_RECORD_BYTES,
+    RANK_RECORD_BYTES,
+    amortized_comparison,
+    crawl_costs,
+)
+from repro.graphs import broder_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return broder_graph(1000, seed=0)
+
+
+class TestCrawlCosts:
+    def test_formulas(self, graph):
+        costs = crawl_costs(graph, distributed_messages=10_000)
+        assert costs.naive_crawler_bytes == graph.num_nodes * DEFAULT_DOC_BYTES
+        assert costs.link_crawler_bytes == (
+            graph.num_edges * LINK_RECORD_BYTES + graph.num_nodes * RANK_RECORD_BYTES
+        )
+        assert costs.distributed_bytes == 10_000 * 24
+
+    def test_naive_crawler_is_terrible(self, graph):
+        # §5's point: fetching all documents dwarfs everything.
+        costs = crawl_costs(graph, distributed_messages=50_000)
+        assert costs.naive_vs_distributed > 5.0
+        assert costs.naive_crawler_bytes > costs.link_crawler_bytes
+
+    def test_ratios(self, graph):
+        costs = crawl_costs(graph, distributed_messages=1000)
+        assert costs.naive_vs_distributed == pytest.approx(
+            costs.naive_crawler_bytes / costs.distributed_bytes
+        )
+        assert costs.link_vs_distributed == pytest.approx(
+            costs.link_crawler_bytes / costs.distributed_bytes
+        )
+
+    def test_zero_messages_safe(self, graph):
+        costs = crawl_costs(graph, distributed_messages=0)
+        assert costs.naive_vs_distributed > 0
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            crawl_costs(graph, distributed_messages=-1)
+        with pytest.raises(ValueError):
+            crawl_costs(graph, 10, mean_document_bytes=0)
+
+
+class TestAmortized:
+    def test_crawlers_pay_per_cycle(self, graph):
+        costs = crawl_costs(graph, distributed_messages=10_000)
+        once = amortized_comparison(costs, recompute_cycles=1)
+        ten = amortized_comparison(costs, recompute_cycles=10)
+        assert ten["naive_crawler_bytes"] == 10 * once["naive_crawler_bytes"]
+        assert ten["link_crawler_bytes"] == 10 * once["link_crawler_bytes"]
+
+    def test_distributed_pays_once_plus_incremental(self, graph):
+        costs = crawl_costs(graph, distributed_messages=10_000)
+        out = amortized_comparison(
+            costs, recompute_cycles=10, incremental_bytes_per_cycle=100.0
+        )
+        assert out["distributed_bytes"] == costs.distributed_bytes + 9 * 100
+
+    def test_distributed_wins_in_the_long_run(self, graph):
+        costs = crawl_costs(graph, distributed_messages=50_000)
+        out = amortized_comparison(
+            costs, recompute_cycles=50, incremental_bytes_per_cycle=1000.0
+        )
+        assert out["distributed_bytes"] < out["link_crawler_bytes"]
+        assert out["distributed_bytes"] < out["naive_crawler_bytes"]
+
+    def test_validation(self, graph):
+        costs = crawl_costs(graph, distributed_messages=10)
+        with pytest.raises(ValueError):
+            amortized_comparison(costs, recompute_cycles=0)
+        with pytest.raises(ValueError):
+            amortized_comparison(
+                costs, recompute_cycles=2, incremental_bytes_per_cycle=-1
+            )

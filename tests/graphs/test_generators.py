@@ -1,0 +1,98 @@
+"""Tests of the named small graphs and simple random models."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    chain_graph,
+    complete_graph,
+    cycle_graph,
+    figure2_graph,
+    gnp_random_graph,
+    star_graph,
+    two_peer_example,
+)
+
+
+class TestFigure2:
+    def test_structure_matches_paper(self):
+        g, idx = figure2_graph()
+        assert g.num_nodes == 7
+        # G has exactly the three out-links of the figure.
+        assert sorted(g.out_links(idx["G"]).tolist()) == sorted(
+            [idx["H"], idx["I"], idx["J"]]
+        )
+        assert sorted(g.out_links(idx["H"]).tolist()) == sorted([idx["K"], idx["L"]])
+        assert g.out_links(idx["I"]).tolist() == [idx["M"]]
+        # Leaves are dangling.
+        for leaf in ("J", "K", "L", "M"):
+            assert g.out_links(idx[leaf]).size == 0
+
+    def test_out_degrees_give_figure_fractions(self):
+        g, idx = figure2_graph()
+        assert g.out_degrees()[idx["G"]] == 3  # shares of 1/3
+        assert g.out_degrees()[idx["H"]] == 2  # shares of 1/6
+
+
+class TestNamedGraphs:
+    def test_cycle(self):
+        g = cycle_graph(5)
+        assert g.num_edges == 5
+        assert np.array_equal(g.out_degrees(), np.ones(5, dtype=np.int64))
+        assert g.has_edge(4, 0)
+
+    def test_chain(self):
+        g = chain_graph(4)
+        assert g.num_edges == 3
+        assert g.dangling_nodes().tolist() == [3]
+
+    def test_star_inward(self):
+        g = star_graph(6)
+        assert g.in_degrees()[0] == 5
+        assert g.out_degrees()[0] == 0
+
+    def test_star_outward(self):
+        g = star_graph(6, inward=False)
+        assert g.out_degrees()[0] == 5
+        assert g.in_degrees()[0] == 0
+
+    def test_complete(self):
+        g = complete_graph(4)
+        assert g.num_edges == 12
+        assert not g.has_edge(0, 0)
+
+    def test_size_validation(self):
+        for factory in (cycle_graph, star_graph, complete_graph):
+            with pytest.raises(ValueError):
+                factory(1)
+        with pytest.raises(ValueError):
+            chain_graph(0)
+
+
+class TestGnp:
+    def test_edge_count_close_to_expectation(self):
+        g = gnp_random_graph(100, 0.1, seed=0)
+        expected = 100 * 99 * 0.1
+        assert abs(g.num_edges - expected) < 0.3 * expected
+
+    def test_p_zero_and_one(self):
+        assert gnp_random_graph(10, 0.0, seed=0).num_edges == 0
+        assert gnp_random_graph(10, 1.0, seed=0).num_edges == 90
+
+    def test_deterministic(self):
+        assert gnp_random_graph(30, 0.2, seed=5) == gnp_random_graph(30, 0.2, seed=5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gnp_random_graph(0, 0.5)
+        with pytest.raises(ValueError):
+            gnp_random_graph(10, 1.5)
+
+
+def test_two_peer_example_structure():
+    g = two_peer_example()
+    assert g.num_nodes == 6
+    assert g.num_edges == 11
+    # the documented cross-peer links exist
+    for u, v in [(0, 3), (3, 0), (2, 5), (4, 1), (0, 4)]:
+        assert g.has_edge(u, v)

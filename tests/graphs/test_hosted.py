@@ -1,0 +1,61 @@
+"""Tests of the host-locality web graph generator (§8 model)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import broder_graph, hosted_web_graph
+from repro.p2p import cross_edge_fraction, host_clustered_placement, random_placement
+
+
+@pytest.fixture(scope="module")
+def hosted():
+    placement, host_of = host_clustered_placement(2000, 20, seed=2)
+    graph = hosted_web_graph(host_of, intra_host_fraction=0.7, seed=3)
+    return graph, placement, host_of
+
+
+class TestHostedWebGraph:
+    def test_basic_invariants(self, hosted):
+        graph, _, host_of = hosted
+        assert graph.num_nodes == host_of.size
+        edges = graph.edge_array()
+        assert len(set(map(tuple, edges.tolist()))) == graph.num_edges
+        assert np.all(edges[:, 0] != edges[:, 1])
+
+    def test_intra_host_locality(self, hosted):
+        graph, _, host_of = hosted
+        src = np.repeat(np.arange(graph.num_nodes), graph.out_degrees())
+        same = (host_of[src] == host_of[graph.indices]).mean()
+        # materially higher locality than the host-blind generator
+        blind = broder_graph(graph.num_nodes, seed=3)
+        src_b = np.repeat(np.arange(blind.num_nodes), blind.out_degrees())
+        blind_same = (host_of[src_b] == host_of[blind.indices]).mean()
+        assert same > 5 * blind_same
+        assert same > 0.3
+
+    def test_zero_locality_matches_global_model(self):
+        _, host_of = host_clustered_placement(1000, 10, seed=4)
+        graph = hosted_web_graph(host_of, intra_host_fraction=0.0, seed=5)
+        src = np.repeat(np.arange(1000), graph.out_degrees())
+        same = (host_of[src] == host_of[graph.indices]).mean()
+        assert same < 0.1
+
+    def test_host_placement_cuts_cross_traffic(self, hosted):
+        graph, placement, _ = hosted
+        hosted_frac = cross_edge_fraction(graph, placement)
+        random_frac = cross_edge_fraction(
+            graph, random_placement(graph.num_nodes, 20, seed=6)
+        )
+        assert hosted_frac < 0.7 * random_frac
+
+    def test_deterministic(self):
+        _, host_of = host_clustered_placement(500, 5, seed=7)
+        a = hosted_web_graph(host_of, seed=8)
+        b = hosted_web_graph(host_of, seed=8)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hosted_web_graph(np.array([0]))
+        with pytest.raises(ValueError):
+            hosted_web_graph(np.array([0, 0, 1]), intra_host_fraction=1.5)

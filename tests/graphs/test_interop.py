@@ -1,0 +1,78 @@
+"""Tests of NetworkX interop and corpus persistence."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import LinkGraph, broder_graph, from_networkx, to_networkx
+from repro.search import CorpusConfig, load_corpus, save_corpus, synthesize_corpus
+
+
+class TestNetworkx:
+    def test_roundtrip_edge_set(self):
+        nx = pytest.importorskip("networkx")
+        g = broder_graph(150, seed=1)
+        back = from_networkx(to_networkx(g))
+        assert back.num_nodes == g.num_nodes
+        assert set(back.iter_edges()) == set(g.iter_edges())
+
+    def test_isolated_nodes_preserved(self):
+        nx = pytest.importorskip("networkx")
+        g = LinkGraph.from_edges([(0, 1)], num_nodes=5)
+        nxg = to_networkx(g)
+        assert nxg.number_of_nodes() == 5
+        assert from_networkx(nxg).num_nodes == 5
+
+    def test_from_networkx_rejects_arbitrary_labels(self):
+        nx = pytest.importorskip("networkx")
+        nxg = nx.DiGraph()
+        nxg.add_edge("a", "b")
+        with pytest.raises((ValueError, TypeError)):
+            from_networkx(nxg)
+
+    def test_pagerank_agreement_via_export(self):
+        nx = pytest.importorskip("networkx")
+        from repro.core import pagerank_reference
+
+        g = broder_graph(200, seed=2)
+        ours = pagerank_reference(g, tol=1e-13).ranks / g.num_nodes
+        theirs_dict = nx.pagerank(to_networkx(g), alpha=0.85, tol=1e-12, max_iter=500)
+        theirs = np.array([theirs_dict[i] for i in range(g.num_nodes)])
+        assert np.allclose(ours, theirs, rtol=1e-5)
+
+
+class TestCorpusPersistence:
+    @pytest.fixture()
+    def corpus(self):
+        cfg = CorpusConfig(
+            num_documents=80,
+            vocab_size=40,
+            num_stopwords=5,
+            raw_vocab_size=300,
+            mean_terms_per_doc=50.0,
+        )
+        return synthesize_corpus(cfg, seed=0)
+
+    def test_roundtrip(self, corpus, tmp_path):
+        path = tmp_path / "corpus.npz"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.vocab_size == corpus.vocab_size
+        assert loaded.num_documents == corpus.num_documents
+        for a, b in zip(corpus.doc_terms, loaded.doc_terms):
+            assert np.array_equal(a, b)
+        assert np.array_equal(
+            corpus.document_frequency, loaded.document_frequency
+        )
+        assert loaded.link_graph == corpus.link_graph
+
+    def test_roundtrip_without_links(self, tmp_path):
+        cfg = CorpusConfig(
+            num_documents=30, vocab_size=20, num_stopwords=3,
+            raw_vocab_size=100, mean_terms_per_doc=20.0,
+        )
+        corpus = synthesize_corpus(cfg, seed=1, with_links=False)
+        path = tmp_path / "nolinks.npz"
+        save_corpus(corpus, path)
+        loaded = load_corpus(path)
+        assert loaded.link_graph is None
+        assert loaded.num_documents == 30

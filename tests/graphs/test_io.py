@@ -1,0 +1,49 @@
+"""Round-trip tests for graph persistence."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    LinkGraph,
+    broder_graph,
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+)
+
+
+def test_npz_roundtrip(tmp_path, small_powerlaw):
+    path = tmp_path / "g.npz"
+    save_npz(small_powerlaw, path)
+    loaded = load_npz(path)
+    assert loaded == small_powerlaw
+
+
+def test_edge_list_roundtrip(tmp_path):
+    g = broder_graph(100, seed=2)
+    path = tmp_path / "g.txt"
+    save_edge_list(g, path)
+    loaded = load_edge_list(path, num_nodes=g.num_nodes)
+    assert loaded == g
+
+
+def test_edge_list_without_num_nodes_infers(tmp_path):
+    g = LinkGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+    path = tmp_path / "g.txt"
+    save_edge_list(g, path)
+    assert load_edge_list(path) == g
+
+
+def test_empty_graph_roundtrip(tmp_path):
+    g = LinkGraph.from_edges([], num_nodes=3)
+    npz = tmp_path / "e.npz"
+    save_npz(g, npz)
+    assert load_npz(npz) == g
+
+
+def test_edge_list_file_has_header(tmp_path):
+    g = LinkGraph.from_edges([(0, 1)])
+    path = tmp_path / "g.txt"
+    save_edge_list(g, path)
+    assert path.read_text().startswith("#")

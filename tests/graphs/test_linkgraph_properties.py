@@ -1,0 +1,86 @@
+"""Property-based tests of LinkGraph's structural invariants."""
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs import LinkGraph
+
+# Strategy: small random edge lists over up to 12 nodes.
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(edge_lists)
+def test_csr_invariants(edges):
+    g = LinkGraph.from_edges(edges, num_nodes=12)
+    assert g.indptr[0] == 0
+    assert g.indptr[-1] == g.num_edges
+    assert np.all(np.diff(g.indptr) >= 0)
+    if g.num_edges:
+        assert g.indices.min() >= 0
+        assert g.indices.max() < g.num_nodes
+
+
+@given(edge_lists)
+def test_dedupe_and_self_loop_removal(edges):
+    g = LinkGraph.from_edges(edges, num_nodes=12)
+    seen = set(g.iter_edges())
+    # No self-loops, no duplicates survived.
+    assert len(seen) == g.num_edges
+    assert all(u != v for u, v in seen)
+    # Exactly the distinct non-loop input edges survived.
+    expected = {(u, v) for u, v in edges if u != v}
+    assert seen == expected
+
+
+@given(edge_lists)
+def test_degree_sums_equal_edge_count(edges):
+    g = LinkGraph.from_edges(edges, num_nodes=12)
+    assert int(g.out_degrees().sum()) == g.num_edges
+    assert int(g.in_degrees().sum()) == g.num_edges
+
+
+@given(edge_lists)
+def test_reverse_involution(edges):
+    g = LinkGraph.from_edges(edges, num_nodes=12)
+    r = g.reverse()
+    assert set(r.iter_edges()) == {(v, u) for u, v in g.iter_edges()}
+    assert r.reverse() == g
+
+
+@given(edge_lists)
+def test_in_links_match_edges(edges):
+    g = LinkGraph.from_edges(edges, num_nodes=12)
+    for node in range(g.num_nodes):
+        expected = sorted(u for u, v in g.iter_edges() if v == node)
+        assert sorted(g.in_links(node).tolist()) == expected
+
+
+@given(edge_lists, st.lists(st.integers(0, 11), max_size=5))
+def test_with_node_added_preserves_existing(edges, new_links):
+    g = LinkGraph.from_edges(edges, num_nodes=12)
+    g2 = g.with_node_added(new_links)
+    assert g2.num_nodes == 13
+    assert set(g.iter_edges()).issubset(set(g2.iter_edges()))
+    assert g2.in_links(12).size == 0
+
+
+@given(edge_lists, st.integers(0, 11))
+def test_with_node_removed_drops_all_incident(edges, victim):
+    g = LinkGraph.from_edges(edges, num_nodes=12)
+    g2 = g.with_node_removed(victim)
+    assert g2.num_nodes == 11
+
+    def renumber(x):
+        return x - 1 if x > victim else x
+
+    expected = {
+        (renumber(u), renumber(v))
+        for u, v in g.iter_edges()
+        if u != victim and v != victim
+    }
+    assert set(g2.iter_edges()) == expected

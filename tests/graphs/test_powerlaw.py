@@ -1,0 +1,94 @@
+"""Tests of the §4.1 power-law graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    PowerLawConfig,
+    broder_graph,
+    fit_power_law_exponent,
+    sample_power_law_degrees,
+)
+
+
+class TestDegreeSampling:
+    def test_range_respected(self):
+        d = sample_power_law_degrees(5000, 2.4, k_min=1, k_max=50, seed=0)
+        assert d.min() >= 1
+        assert d.max() <= 50
+
+    def test_mostly_small_degrees(self):
+        d = sample_power_law_degrees(5000, 2.4, seed=0)
+        # P(k=1) = 1/zeta(2.4) ~ 0.75 for the truncated law.
+        assert (d == 1).mean() > 0.6
+
+    def test_deterministic_with_seed(self):
+        a = sample_power_law_degrees(100, 2.1, seed=42)
+        b = sample_power_law_degrees(100, 2.1, seed=42)
+        assert np.array_equal(a, b)
+
+    def test_exponent_recovered(self):
+        d = sample_power_law_degrees(200_000, 2.4, k_max=100_000, seed=1)
+        fit = fit_power_law_exponent(d, k_min=2)
+        assert fit.exponent == pytest.approx(2.4, abs=0.15)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            sample_power_law_degrees(-1, 2.0)
+        with pytest.raises(ValueError):
+            sample_power_law_degrees(10, 2.0, k_min=5, k_max=3)
+        with pytest.raises(ValueError):
+            sample_power_law_degrees(10, -2.0)
+
+
+class TestBroderGraph:
+    def test_basic_structure(self):
+        g = broder_graph(500, seed=0)
+        assert g.num_nodes == 500
+        # every node has at least one out-link in this model
+        assert g.dangling_nodes().size == 0
+        assert g.num_edges >= 500
+
+    def test_no_self_loops_or_duplicates(self):
+        g = broder_graph(400, seed=1)
+        edges = list(g.iter_edges())
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_deterministic(self):
+        assert broder_graph(300, seed=9) == broder_graph(300, seed=9)
+
+    def test_different_seeds_differ(self):
+        assert broder_graph(300, seed=1) != broder_graph(300, seed=2)
+
+    def test_out_exponent_shape(self):
+        g = broder_graph(50_000, seed=3)
+        fit = fit_power_law_exponent(g.out_degrees(), k_min=2)
+        # Dedupe slightly flattens the tail; allow a loose band.
+        assert 1.9 < fit.exponent < 3.0
+
+    def test_in_degree_heavy_tail(self):
+        g = broder_graph(20_000, seed=4)
+        ind = g.in_degrees()
+        # A heavy tail: the max in-degree dwarfs the mean.
+        assert ind.max() > 20 * ind.mean()
+
+    def test_min_nodes_validated(self):
+        with pytest.raises(ValueError):
+            broder_graph(1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            PowerLawConfig(in_exponent=0.9)
+        with pytest.raises(ValueError):
+            PowerLawConfig(min_out_degree=0)
+        with pytest.raises(ValueError):
+            PowerLawConfig(max_degree=0)
+
+    def test_custom_config(self):
+        cfg = PowerLawConfig(min_out_degree=2, max_degree=10)
+        g = broder_graph(300, config=cfg, seed=5)
+        # realised degrees may fall below sampled after dedupe, but the
+        # bulk should respect the floor
+        assert (g.out_degrees() >= 2).mean() > 0.95
+        assert g.out_degrees().max() <= 10

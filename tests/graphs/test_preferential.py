@@ -1,0 +1,76 @@
+"""Tests of the preferential-attachment web model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChaoticPagerank, pagerank_reference
+from repro.graphs import fit_power_law_exponent, preferential_attachment_graph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return preferential_attachment_graph(5000, seed=0)
+
+
+class TestStructure:
+    def test_basic_invariants(self, graph):
+        assert graph.num_nodes == 5000
+        edges = list(graph.iter_edges())
+        assert len(edges) == len(set(edges))
+        assert all(u != v for u, v in edges)
+
+    def test_no_dangling_nodes(self, graph):
+        # the seed cycle plus min out-degree 1 guarantee out-links
+        assert graph.dangling_nodes().size == 0
+
+    def test_targets_predate_sources(self, graph):
+        # growth property: beyond the seed core, links point backwards
+        edges = graph.edge_array()
+        late = edges[edges[:, 0] >= 10]
+        assert np.all(late[:, 1] < late[:, 0])
+
+    def test_heavy_tailed_in_degree(self, graph):
+        ind = graph.in_degrees()
+        assert ind.max() > 30 * ind.mean()
+        fit = fit_power_law_exponent(ind[ind >= 2], k_min=2)
+        assert 1.5 < fit.exponent < 3.0
+
+    def test_deterministic(self):
+        a = preferential_attachment_graph(500, seed=4)
+        b = preferential_attachment_graph(500, seed=4)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(1)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, seed_nodes=1)
+        with pytest.raises(ValueError):
+            preferential_attachment_graph(10, smoothing=0.0)
+
+    def test_smoothing_flattens_tail(self):
+        sharp = preferential_attachment_graph(3000, smoothing=0.2, seed=5)
+        flat = preferential_attachment_graph(3000, smoothing=20.0, seed=5)
+        assert sharp.in_degrees().max() > flat.in_degrees().max()
+
+
+class TestPagerankRobustness:
+    """The paper's conclusions must not be artifacts of the §4.1
+    fitness model: re-check the headline behaviours here."""
+
+    def test_chaotic_converges_near_reference(self, graph):
+        report = ChaoticPagerank(graph, epsilon=1e-5).run()
+        assert report.converged
+        ref = pagerank_reference(graph).ranks
+        rel = np.abs(report.ranks - ref) / ref
+        assert np.percentile(rel, 99) < 1e-3
+
+    def test_traffic_still_logarithmic_in_epsilon(self, graph):
+        msgs = []
+        for eps in (1e-2, 1e-4, 1e-6):
+            msgs.append(
+                ChaoticPagerank(graph, epsilon=eps).run(keep_history=False).total_messages
+            )
+        assert msgs[0] < msgs[1] < msgs[2]
+        # 1e4x tighter eps, well under 10x traffic
+        assert msgs[2] / msgs[0] < 10

@@ -1,0 +1,38 @@
+"""Tests for degree-distribution diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    LinkGraph,
+    degree_histogram,
+    fit_power_law_exponent,
+    sample_power_law_degrees,
+)
+
+
+def test_fit_recovers_known_exponent():
+    samples = sample_power_law_degrees(100_000, 2.1, k_max=100_000, seed=0)
+    fit = fit_power_law_exponent(samples, k_min=2)
+    assert abs(fit.exponent - 2.1) < 0.15
+    assert fit.k_min == 2
+    assert fit.num_samples == int((samples >= 2).sum())
+
+
+def test_fit_requires_enough_samples():
+    with pytest.raises(ValueError, match="at least 10"):
+        fit_power_law_exponent(np.array([5, 6, 7]))
+
+
+def test_degree_histogram_out_and_in():
+    g = LinkGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+    out_hist = degree_histogram(g, direction="out")
+    assert out_hist.tolist() == [1, 1, 1]  # one node each of degree 0,1,2
+    in_hist = degree_histogram(g, direction="in")
+    assert in_hist.tolist() == [1, 1, 1]
+
+
+def test_degree_histogram_validates_direction():
+    g = LinkGraph.from_edges([(0, 1)])
+    with pytest.raises(ValueError, match="direction"):
+        degree_histogram(g, direction="sideways")

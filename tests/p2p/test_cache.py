@@ -1,0 +1,70 @@
+"""Tests of §3.2 location caching."""
+
+import pytest
+
+from repro.p2p import ChordRing, LocationCache
+from repro.p2p.guid import document_guid
+
+
+@pytest.fixture()
+def ring():
+    return ChordRing(list(range(16)))
+
+
+class TestLocationCache:
+    def test_miss_then_hit(self, ring):
+        cache = LocationCache(0, ring)
+        first = cache.locate(42)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+        second = cache.locate(42)
+        assert second == first == ring.owner(document_guid(42))
+        assert cache.stats.hits == 1
+
+    def test_routed_hops_counted_on_miss_only(self, ring):
+        cache = LocationCache(0, ring)
+        cache.locate(1)
+        hops_after_miss = cache.stats.routed_hops
+        cache.locate(1)
+        assert cache.stats.routed_hops == hops_after_miss
+
+    def test_hit_rate(self, ring):
+        cache = LocationCache(0, ring)
+        assert cache.stats.hit_rate == 0.0
+        cache.locate(1)
+        cache.locate(1)
+        cache.locate(1)
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_invalidate_forces_relookup(self, ring):
+        cache = LocationCache(0, ring)
+        cache.locate(9)
+        cache.invalidate(9)
+        cache.locate(9)
+        assert cache.stats.misses == 2
+
+    def test_seed_avoids_lookup(self, ring):
+        cache = LocationCache(0, ring)
+        cache.seed(7, 3)
+        assert cache.locate(7) == 3
+        assert cache.stats.misses == 0
+
+    def test_capacity_evicts_fifo(self, ring):
+        cache = LocationCache(0, ring, capacity=2)
+        cache.locate(1)
+        cache.locate(2)
+        cache.locate(3)  # evicts doc 1
+        assert len(cache) == 2
+        assert 1 not in cache
+        assert 2 in cache and 3 in cache
+
+    def test_capacity_validated(self, ring):
+        with pytest.raises(ValueError):
+            LocationCache(0, ring, capacity=0)
+
+    def test_storage_scales_with_distinct_targets(self, ring):
+        # §3.1/§3.2 bound: one entry per distinct out-link target.
+        cache = LocationCache(0, ring)
+        for doc in [1, 2, 3, 1, 2, 3]:
+            cache.locate(doc)
+        assert len(cache) == 3

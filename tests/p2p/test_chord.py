@@ -1,0 +1,182 @@
+"""Tests of the Chord-like DHT ring."""
+
+import numpy as np
+import pytest
+
+from repro.p2p import ChordRing, document_guid, peer_guid
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return ChordRing(list(range(32)))
+
+
+class TestOwnership:
+    def test_owner_is_successor(self, ring):
+        # Brute-force the successor and compare.
+        guids = sorted((peer_guid(p), p) for p in ring.peers)
+        for key in (0, 12345, 2**100, document_guid(7)):
+            expected = next((p for g, p in guids if g >= key), guids[0][1])
+            assert ring.owner(key) == expected
+
+    def test_owner_of_peer_guid_is_peer(self, ring):
+        for p in ring.peers[:5]:
+            assert ring.owner(peer_guid(p)) == p
+
+    def test_all_keys_covered(self, ring):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            key = int(rng.integers(0, 2**63))
+            assert ring.owner(key) in ring.peers
+
+
+class TestRouting:
+    def test_route_agrees_with_owner(self, ring):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            key = int(rng.integers(0, 2**63)) << 64
+            start = int(rng.choice(ring.peers))
+            result = ring.route(key, start)
+            assert result.owner == ring.owner(key)
+
+    def test_hops_logarithmic(self, ring):
+        rng = np.random.default_rng(2)
+        hops = [
+            ring.route(document_guid(i), int(rng.choice(ring.peers))).hops
+            for i in range(200)
+        ]
+        # Chord guarantee: O(log P); with 32 peers allow some slack.
+        assert max(hops) <= 2 * int(np.ceil(np.log2(32)))
+        assert np.mean(hops) <= np.log2(32)
+
+    def test_route_from_owner_is_free_or_one(self, ring):
+        key = document_guid(99)
+        owner = ring.owner(key)
+        result = ring.route(key, owner)
+        assert result.owner == owner
+        assert result.hops <= 1  # may hop once around a tiny arc
+
+    def test_path_starts_at_start_and_ends_at_owner(self, ring):
+        key = document_guid(5)
+        result = ring.route(key, ring.peers[0])
+        assert result.path[0] == ring.peers[0]
+        assert result.path[-1] == result.owner
+        assert result.hops == len(result.path) - 1
+
+    def test_lookup_hops_shortcut(self, ring):
+        key = document_guid(17)
+        assert ring.lookup_hops(key, ring.peers[3]) == ring.route(key, ring.peers[3]).hops
+
+    def test_unknown_start_rejected(self, ring):
+        with pytest.raises(KeyError):
+            ring.route(0, 999)
+
+
+class TestMembership:
+    def test_join_and_leave_roundtrip(self):
+        ring = ChordRing(list(range(8)))
+        keys = [document_guid(i) for i in range(40)]
+        before = [ring.owner(k) for k in keys]
+        ring.join(100)
+        assert 100 in ring
+        ring.leave(100)
+        after = [ring.owner(k) for k in keys]
+        assert before == after
+
+    def test_join_takes_over_keys(self):
+        ring = ChordRing(list(range(8)))
+        ring.join(100)
+        fresh = ChordRing(list(range(8)) + [100])
+        for i in range(60):
+            k = document_guid(i)
+            assert ring.owner(k) == fresh.owner(k)
+
+    def test_leave_hands_keys_to_successor(self):
+        ring = ChordRing(list(range(8)))
+        ring.leave(3)
+        fresh = ChordRing([p for p in range(8) if p != 3])
+        for i in range(60):
+            k = document_guid(i)
+            assert ring.owner(k) == fresh.owner(k)
+
+    def test_duplicate_join_rejected(self):
+        ring = ChordRing([1, 2])
+        with pytest.raises(ValueError):
+            ring.join(1)
+
+    def test_leave_unknown_rejected(self):
+        ring = ChordRing([1, 2])
+        with pytest.raises(KeyError):
+            ring.leave(9)
+
+    def test_cannot_empty_ring(self):
+        ring = ChordRing([1])
+        with pytest.raises(ValueError):
+            ring.leave(1)
+
+    def test_empty_construction_rejected(self):
+        with pytest.raises(ValueError):
+            ChordRing([])
+
+    def test_single_peer_owns_everything(self):
+        ring = ChordRing([42])
+        assert ring.owner(document_guid(0)) == 42
+        assert ring.route(document_guid(0), 42).hops == 0
+
+    def test_peers_listed_in_ring_order(self, ring):
+        guids = [peer_guid(p) for p in ring.peers]
+        assert guids == sorted(guids)
+
+    def test_routing_correct_after_churn_sequence(self):
+        ring = ChordRing(list(range(16)))
+        rng = np.random.default_rng(3)
+        ring.leave(4)
+        ring.join(50)
+        ring.leave(9)
+        ring.join(51)
+        for i in range(50):
+            key = document_guid(i)
+            start = int(rng.choice(ring.peers))
+            assert ring.route(key, start).owner == ring.owner(key)
+
+
+class TestFaultTolerance:
+    def test_successor_list(self, ring):
+        peers_in_order = ring.peers
+        first = peers_in_order[0]
+        succ = ring.successor_list(first, 3)
+        assert succ == peers_in_order[1:4]
+
+    def test_successor_list_wraps(self, ring):
+        last = ring.peers[-1]
+        succ = ring.successor_list(last, 2)
+        assert succ[0] == ring.peers[0]
+
+    def test_successor_list_validation(self, ring):
+        with pytest.raises(KeyError):
+            ring.successor_list(999, 1)
+        with pytest.raises(ValueError):
+            ring.successor_list(ring.peers[0], 0)
+
+    def test_owner_excluding_skips_dead(self, ring):
+        key = document_guid(5)
+        owner = ring.owner(key)
+        rehomed = ring.owner_excluding(key, {owner})
+        assert rehomed != owner
+        # re-homed owner is the first live successor
+        assert rehomed == ring.successor_list(owner, 1)[0]
+
+    def test_owner_excluding_no_dead_is_owner(self, ring):
+        key = document_guid(6)
+        assert ring.owner_excluding(key, set()) == ring.owner(key)
+
+    def test_owner_excluding_all_dead(self, ring):
+        with pytest.raises(ValueError, match="all peers"):
+            ring.owner_excluding(0, set(ring.peers))
+
+    def test_owner_excluding_chain(self, ring):
+        key = document_guid(7)
+        owner = ring.owner(key)
+        chain = ring.successor_list(owner, 3)
+        dead = {owner, chain[0], chain[1]}
+        assert ring.owner_excluding(key, dead) == chain[2]

@@ -1,0 +1,41 @@
+"""Property-based tests of the DHT ring."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.p2p import ChordRing, peer_guid
+from repro.p2p.guid import ID_SPACE
+
+peer_sets = st.sets(st.integers(0, 500), min_size=1, max_size=24)
+keys = st.integers(0, ID_SPACE - 1)
+
+
+@given(peer_sets, keys)
+@settings(max_examples=60)
+def test_routed_owner_matches_successor(peers, key):
+    ring = ChordRing(sorted(peers))
+    brute = sorted((peer_guid(p), p) for p in peers)
+    expected = next((p for g, p in brute if g >= key), brute[0][1])
+    assert ring.owner(key) == expected
+    for start in list(peers)[:3]:
+        assert ring.route(key, start).owner == expected
+
+
+@given(peer_sets, keys)
+@settings(max_examples=40)
+def test_hops_bounded(peers, key):
+    ring = ChordRing(sorted(peers))
+    start = min(peers)
+    result = ring.route(key, start)
+    # Greedy finger routing halves the remaining arc each hop.
+    assert result.hops <= 2 * max(len(peers).bit_length(), 1)
+
+
+@given(peer_sets, st.integers(501, 600), keys)
+@settings(max_examples=40)
+def test_join_leave_is_identity_for_ownership(peers, newcomer, key):
+    ring = ChordRing(sorted(peers))
+    before = ring.owner(key)
+    ring.join(newcomer)
+    ring.leave(newcomer)
+    assert ring.owner(key) == before

@@ -1,0 +1,107 @@
+"""Tests of the Freenet-style key-space routing substrate."""
+
+import numpy as np
+import pytest
+
+from repro.p2p import FreenetDelivery, FreenetNetwork
+
+
+@pytest.fixture(scope="module")
+def net():
+    return FreenetNetwork(120, ring_neighbours=2, long_links=3, seed=0)
+
+
+class TestStructure:
+    def test_contacts_symmetric_ring_core(self, net):
+        # ring neighbours guarantee every peer has >= 2 contacts
+        for p in range(net.num_peers):
+            assert net.contacts_of(p).size >= 2
+            assert p not in net.contacts_of(p)
+
+    def test_positions_sorted_in_unit_interval(self, net):
+        assert np.all(np.diff(net.positions) >= 0)
+        assert net.positions.min() >= 0.0
+        assert net.positions.max() < 1.0
+
+    def test_closest_peer_is_argmin(self, net):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            key = int(rng.integers(0, 2**53))
+            owner = net.closest_peer(key)
+            pos = net.key_position(key)
+            d = np.minimum(np.abs(net.positions - pos), 1 - np.abs(net.positions - pos))
+            assert owner == int(np.argmin(d))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FreenetNetwork(1)
+        with pytest.raises(ValueError):
+            FreenetNetwork(10, ring_neighbours=0)
+        with pytest.raises(ValueError):
+            FreenetNetwork(10, long_links=-1)
+
+
+class TestRouting:
+    def test_routes_mostly_succeed_with_long_links(self, net):
+        stats = net.routing_statistics(samples=150, seed=2)
+        assert stats["success_rate"] > 0.9
+        assert stats["mean_hops"] < 20
+
+    def test_no_long_links_hurts(self):
+        # pure ring: greedy still works but needs O(P) hops.
+        ring = FreenetNetwork(120, ring_neighbours=1, long_links=0, seed=3)
+        small_world = FreenetNetwork(120, ring_neighbours=1, long_links=4, seed=3)
+        ring_stats = ring.routing_statistics(samples=80, seed=4)
+        sw_stats = small_world.routing_statistics(samples=80, seed=4)
+        assert sw_stats["mean_hops"] < ring_stats["mean_hops"]
+
+    def test_route_from_owner(self, net):
+        key = 12345
+        owner = net.closest_peer(key)
+        result = net.route(key, owner)
+        assert result.succeeded
+        assert result.hops == 0
+
+    def test_hops_to_live_bounds(self, net):
+        result = net.route(999, 0, hops_to_live=1)
+        assert result.hops <= 1
+
+    def test_bounds_validated(self, net):
+        with pytest.raises(IndexError):
+            net.route(0, 9999)
+        with pytest.raises(ValueError):
+            net.route(0, 0, hops_to_live=0)
+        with pytest.raises(IndexError):
+            net.contacts_of(-1)
+
+
+class TestDelivery:
+    def test_policy_charges_routed_hops(self, net):
+        policy = FreenetDelivery(net, seed=5)
+        h = policy.delivery_hops(0, 42)
+        assert h >= 1
+        assert policy.deliveries == 1
+        assert policy.total_hops == h
+
+    def test_no_caching_same_cost_every_time(self, net):
+        policy = FreenetDelivery(net, seed=6)
+        first = policy.delivery_hops(3, 7)
+        second = policy.delivery_hops(3, 7)
+        # anonymity mode: repeated sends pay the route again
+        assert second == first
+
+    def test_reset(self, net):
+        policy = FreenetDelivery(net, seed=7)
+        policy.delivery_hops(0, 1)
+        policy.reset()
+        assert policy.deliveries == 0
+        assert policy.mean_hops == 0.0
+
+    def test_failed_routes_retry_and_count(self):
+        # starve the network of long links at scale: failures appear
+        sparse = FreenetNetwork(400, ring_neighbours=1, long_links=0, seed=8)
+        policy = FreenetDelivery(sparse, seed=9)
+        for doc in range(30):
+            policy.delivery_hops(doc % 400, doc)
+        # with hops-to-live 50 on a 400-ring, some first attempts fail
+        assert policy.failed_first_attempts > 0

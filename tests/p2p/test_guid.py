@@ -1,0 +1,69 @@
+"""Tests of GUID hashing and ring arithmetic."""
+
+import pytest
+
+from repro.p2p import (
+    ID_BITS,
+    ID_SPACE,
+    document_guid,
+    guid_of,
+    in_interval,
+    peer_guid,
+    ring_distance,
+)
+
+
+class TestGuids:
+    def test_deterministic(self):
+        assert guid_of("doc-1") == guid_of("doc-1")
+
+    def test_in_range(self):
+        for name in ("a", "b", "長い名前", ""):
+            assert 0 <= guid_of(name) < ID_SPACE
+
+    def test_namespaces_separate(self):
+        assert guid_of("1", namespace="doc") != guid_of("1", namespace="peer")
+        assert document_guid(1) != peer_guid(1)
+
+    def test_accepts_bytes(self):
+        assert guid_of(b"raw") == guid_of("raw")
+
+    def test_distinct_names_distinct_guids(self):
+        guids = {guid_of(str(i)) for i in range(1000)}
+        assert len(guids) == 1000
+
+    def test_id_space_width(self):
+        assert ID_SPACE == 1 << ID_BITS
+        assert ID_BITS == 128  # the paper's 24-byte message assumes this
+
+
+class TestRingDistance:
+    def test_forward(self):
+        assert ring_distance(1, 5) == 4
+
+    def test_wraparound(self):
+        assert ring_distance(ID_SPACE - 1, 1) == 2
+
+    def test_zero(self):
+        assert ring_distance(7, 7) == 0
+
+
+class TestInInterval:
+    def test_simple(self):
+        assert in_interval(5, 1, 10)
+        assert not in_interval(0, 1, 10)
+
+    def test_right_inclusive(self):
+        assert in_interval(10, 1, 10)
+        assert not in_interval(10, 1, 10, inclusive_right=False)
+        assert not in_interval(1, 1, 10)
+
+    def test_wraparound_interval(self):
+        a, b = ID_SPACE - 5, 5
+        assert in_interval(ID_SPACE - 1, a, b)
+        assert in_interval(2, a, b)
+        assert not in_interval(100, a, b)
+
+    def test_full_ring_when_equal(self):
+        assert in_interval(123, 7, 7)
+        assert not in_interval(7, 7, 7, inclusive_right=False)

@@ -1,0 +1,52 @@
+"""Tests of update messages and per-destination batching."""
+
+import pytest
+
+from repro.p2p import MESSAGE_SIZE_BYTES, MessageBatch, Outbox, PagerankUpdate
+
+
+class TestPagerankUpdate:
+    def test_fields_and_size(self):
+        u = PagerankUpdate(target_doc=5, source_doc=2, value=1.25)
+        assert u.size_bytes == MESSAGE_SIZE_BYTES == 24
+
+    def test_frozen(self):
+        u = PagerankUpdate(1, 2, 3.0)
+        with pytest.raises(AttributeError):
+            u.value = 9.0
+
+    def test_negative_value_allowed(self):
+        # deletions carry negated ranks (§3.1)
+        u = PagerankUpdate(1, 2, -0.5)
+        assert u.value == -0.5
+
+
+class TestMessageBatch:
+    def test_accumulates(self):
+        b = MessageBatch(sender_peer=0, receiver_peer=1)
+        b.add(PagerankUpdate(1, 0, 1.0))
+        b.add(PagerankUpdate(2, 0, 1.0))
+        assert len(b) == 2
+        assert b.size_bytes == 48
+        assert all(isinstance(u, PagerankUpdate) for u in b)
+
+
+class TestOutbox:
+    def test_groups_by_destination(self):
+        ob = Outbox(owner_peer=7)
+        ob.stage(1, PagerankUpdate(10, 0, 1.0))
+        ob.stage(2, PagerankUpdate(11, 0, 1.0))
+        ob.stage(1, PagerankUpdate(12, 0, 1.0))
+        assert len(ob) == 3
+        assert set(ob.destinations) == {1, 2}
+        batches = {b.receiver_peer: b for b in ob.batches()}
+        assert len(batches[1]) == 2
+        assert len(batches[2]) == 1
+        assert all(b.sender_peer == 7 for b in batches.values())
+
+    def test_batches_drains(self):
+        ob = Outbox(owner_peer=0)
+        ob.stage(1, PagerankUpdate(1, 0, 1.0))
+        assert len(ob.batches()) == 1
+        assert ob.batches() == []
+        assert len(ob) == 0

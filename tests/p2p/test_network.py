@@ -1,0 +1,115 @@
+"""Tests of document placement and the network facade."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import broder_graph
+from repro.p2p import ChordRing, DocumentPlacement, P2PNetwork
+from repro.p2p.guid import document_guid
+
+
+class TestDocumentPlacement:
+    def test_random_placement_bounds(self):
+        pl = DocumentPlacement.random(1000, 37, seed=0)
+        assert pl.num_docs == 1000
+        assert pl.num_peers == 37
+        assert pl.assignment.min() >= 0
+        assert pl.assignment.max() < 37
+
+    def test_random_is_deterministic(self):
+        a = DocumentPlacement.random(100, 5, seed=1)
+        b = DocumentPlacement.random(100, 5, seed=1)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_docs_by_peer_partitions(self):
+        pl = DocumentPlacement.random(500, 9, seed=2)
+        groups = pl.docs_by_peer()
+        assert len(groups) == 9
+        combined = np.sort(np.concatenate(groups))
+        assert np.array_equal(combined, np.arange(500))
+        for p, docs in enumerate(groups):
+            assert np.all(pl.assignment[docs] == p)
+
+    def test_docs_of_matches_peer_of(self):
+        pl = DocumentPlacement.random(200, 4, seed=3)
+        for doc in pl.docs_of(2):
+            assert pl.peer_of(int(doc)) == 2
+
+    def test_guid_placement_matches_ring_owner(self):
+        ring = ChordRing(list(range(8)))
+        pl = DocumentPlacement.by_guid(100, ring)
+        for doc in range(100):
+            assert pl.peer_of(doc) == ring.owner(document_guid(doc))
+
+    def test_guid_placement_requires_dense_ids(self):
+        ring = ChordRing([5, 9])
+        with pytest.raises(ValueError, match="densely"):
+            DocumentPlacement.by_guid(10, ring)
+
+    def test_load_statistics(self):
+        pl = DocumentPlacement.random(10_000, 50, seed=4)
+        stats = pl.load_statistics()
+        assert stats["mean"] == pytest.approx(200.0)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+
+    def test_assignment_frozen(self):
+        pl = DocumentPlacement.random(10, 2, seed=5)
+        with pytest.raises(ValueError):
+            pl.assignment[0] = 1
+
+    def test_invalid_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            DocumentPlacement(np.array([0, 5]), num_peers=3)
+
+    def test_peer_bounds_checked(self):
+        pl = DocumentPlacement.random(10, 2, seed=6)
+        with pytest.raises(IndexError):
+            pl.docs_of(5)
+
+
+class TestP2PNetwork:
+    def test_place_documents_random(self):
+        net = P2PNetwork(10, build_ring=False)
+        pl = net.place_documents(100, seed=0)
+        assert net.placement is pl
+        assert pl.num_peers == 10
+
+    def test_place_documents_guid(self):
+        net = P2PNetwork(6)
+        pl = net.place_documents(50, strategy="guid")
+        assert pl.num_docs == 50
+
+    def test_guid_strategy_needs_ring(self):
+        net = P2PNetwork(6, build_ring=False)
+        with pytest.raises(ValueError, match="ring"):
+            net.place_documents(10, strategy="guid")
+
+    def test_unknown_strategy(self):
+        net = P2PNetwork(3, build_ring=False)
+        with pytest.raises(ValueError, match="strategy"):
+            net.place_documents(10, strategy="magic")
+
+    def test_link_matrix_totals(self):
+        g = broder_graph(300, seed=7)
+        net = P2PNetwork(5, build_ring=False)
+        net.place_documents(g.num_nodes, seed=8)
+        mat = net.peer_link_matrix(g)
+        assert mat.shape == (5, 5)
+        assert int(mat.sum()) == g.num_edges
+        # Off-diagonal sum equals the cross-peer edge count.
+        cross = int(mat.sum() - mat.diagonal().sum())
+        assert cross == net.cross_peer_edge_count(g)
+
+    def test_link_matrix_requires_matching_placement(self):
+        g = broder_graph(100, seed=9)
+        net = P2PNetwork(5, build_ring=False)
+        with pytest.raises(ValueError, match="placement"):
+            net.peer_link_matrix(g)
+        net.place_documents(50, seed=10)
+        with pytest.raises(ValueError, match="docs"):
+            net.peer_link_matrix(g)
+
+    def test_placement_peer_count_must_match(self):
+        pl = DocumentPlacement.random(10, 4, seed=11)
+        with pytest.raises(ValueError):
+            P2PNetwork(8, pl, build_ring=False)

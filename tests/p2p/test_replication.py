@@ -1,0 +1,105 @@
+"""Tests of the §2.3 replica registry and consistency-cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChaoticPagerank
+from repro.graphs import broder_graph
+from repro.p2p import DocumentPlacement
+from repro.p2p.replication import ReplicaRegistry, replicated_message_cost
+
+
+@pytest.fixture()
+def placement():
+    return DocumentPlacement.random(100, 10, seed=0)
+
+
+class TestRegistry:
+    def test_add_and_query(self, placement):
+        reg = ReplicaRegistry(placement)
+        reg.add_replica(5, (placement.peer_of(5) + 1) % 10)
+        assert len(reg.replicas_of(5)) == 1
+        assert placement.peer_of(5) in reg.update_targets(5)
+        assert len(reg.update_targets(5)) == 2
+
+    def test_primary_not_a_replica(self, placement):
+        reg = ReplicaRegistry(placement)
+        reg.add_replica(5, placement.peer_of(5))
+        assert reg.replicas_of(5) == set()
+
+    def test_drop_replica(self, placement):
+        reg = ReplicaRegistry(placement)
+        other = (placement.peer_of(5) + 1) % 10
+        reg.add_replica(5, other)
+        reg.drop_replica(5, other)
+        assert reg.replicas_of(5) == set()
+        assert reg.total_replicas == 0
+
+    def test_duplicate_add_idempotent(self, placement):
+        reg = ReplicaRegistry(placement)
+        other = (placement.peer_of(5) + 1) % 10
+        reg.add_replica(5, other)
+        reg.add_replica(5, other)
+        assert reg.total_replicas == 1
+
+    def test_bounds(self, placement):
+        reg = ReplicaRegistry(placement)
+        with pytest.raises(IndexError):
+            reg.add_replica(999, 0)
+        with pytest.raises(IndexError):
+            reg.add_replica(0, 999)
+
+    def test_random_population_mean(self, placement):
+        reg = ReplicaRegistry.with_random_replicas(
+            placement, replicas_per_doc=2.0, seed=1
+        )
+        assert 1.0 < reg.storage_overhead() < 4.0
+        counts = reg.replica_counts()
+        assert counts.max() <= placement.num_peers - 1
+
+    def test_zero_replication(self, placement):
+        reg = ReplicaRegistry.with_random_replicas(
+            placement, replicas_per_doc=0.0, seed=2
+        )
+        assert reg.total_replicas == 0
+        assert reg.storage_overhead() == 1.0
+
+
+class TestConsistencyCost:
+    def test_replication_scales_traffic_linearly(self):
+        g = broder_graph(300, seed=3)
+        pl = DocumentPlacement.random(300, 10, seed=4)
+        report = ChaoticPagerank(g, pl.assignment, num_peers=10, epsilon=1e-3).run()
+
+        none = ReplicaRegistry(pl)
+        light = ReplicaRegistry.with_random_replicas(pl, replicas_per_doc=1.0, seed=5)
+        heavy = ReplicaRegistry.with_random_replicas(pl, replicas_per_doc=3.0, seed=6)
+
+        c0 = replicated_message_cost(report, none)
+        c1 = replicated_message_cost(report, light)
+        c3 = replicated_message_cost(report, heavy)
+        assert c0 == report.total_messages
+        assert c0 < c1 < c3
+        # roughly linear in the replica factor
+        extra1 = c1 - c0
+        extra3 = c3 - c0
+        assert 2.0 < extra3 / extra1 < 4.5
+
+    def test_exact_per_document_counts(self):
+        g = broder_graph(100, seed=7)
+        pl = DocumentPlacement.random(100, 5, seed=8)
+        report = ChaoticPagerank(g, pl.assignment, num_peers=5, epsilon=1e-3).run()
+        reg = ReplicaRegistry(pl)
+        reg.add_replica(0, (pl.peer_of(0) + 1) % 5)
+        publishes = np.zeros(100, dtype=np.int64)
+        publishes[0] = 7
+        total = replicated_message_cost(report, reg, per_pass_updates=publishes)
+        assert total == report.total_messages + 7
+
+    def test_shape_validation(self):
+        g = broder_graph(50, seed=9)
+        pl = DocumentPlacement.random(50, 4, seed=10)
+        report = ChaoticPagerank(g, pl.assignment, num_peers=4, epsilon=1e-2).run()
+        reg = ReplicaRegistry(pl)
+        with pytest.raises(ValueError):
+            replicated_message_cost(report, reg, per_pass_updates=np.zeros(3))

@@ -1,0 +1,76 @@
+"""Tests of the §3.2 delivery-cost policies."""
+
+import pytest
+
+from repro.p2p import (
+    CachedDirectDelivery,
+    ChordRing,
+    OracleDirectDelivery,
+    RoutedDelivery,
+)
+
+
+@pytest.fixture()
+def ring():
+    return ChordRing(list(range(20)))
+
+
+class TestOracle:
+    def test_always_one_hop(self):
+        policy = OracleDirectDelivery()
+        assert policy.delivery_hops(0, 123) == 1
+        assert policy.delivery_hops(5, 9) == 1
+
+
+class TestCachedDirect:
+    def test_first_delivery_routed_then_direct(self, ring):
+        policy = CachedDirectDelivery(ring)
+        first = policy.delivery_hops(0, 77)
+        assert first >= 1
+        for _ in range(3):
+            assert policy.delivery_hops(0, 77) == 1
+        stats = policy.total_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 3
+
+    def test_caches_are_per_sender(self, ring):
+        policy = CachedDirectDelivery(ring)
+        policy.delivery_hops(0, 77)
+        # a different sender has its own cold cache
+        assert policy.total_stats()["misses"] == 1
+        policy.delivery_hops(1, 77)
+        assert policy.total_stats()["misses"] == 2
+
+    def test_reset_clears(self, ring):
+        policy = CachedDirectDelivery(ring)
+        policy.delivery_hops(0, 5)
+        policy.reset()
+        assert policy.total_stats() == {"hits": 0, "misses": 0, "routed_hops": 0}
+
+
+class TestRouted:
+    def test_every_delivery_routed(self, ring):
+        policy = RoutedDelivery(ring)
+        h1 = policy.delivery_hops(0, 42)
+        h2 = policy.delivery_hops(0, 42)
+        # Freenet mode: no caching, both deliveries pay the route.
+        assert h1 == h2 >= 1
+        assert policy.deliveries == 2
+        assert policy.total_hops == h1 + h2
+        assert policy.mean_hops == pytest.approx(h1)
+
+    def test_routed_costs_at_least_direct(self, ring):
+        cached = CachedDirectDelivery(ring)
+        routed = RoutedDelivery(ring)
+        total_cached = sum(cached.delivery_hops(3, d) for d in range(30) for _ in range(3))
+        routed.reset()
+        total_routed = sum(routed.delivery_hops(3, d) for d in range(30) for _ in range(3))
+        # With repeats, caching strictly wins (this is §3.2's point).
+        assert total_cached < total_routed
+
+    def test_reset(self, ring):
+        policy = RoutedDelivery(ring)
+        policy.delivery_hops(0, 1)
+        policy.reset()
+        assert policy.deliveries == 0
+        assert policy.mean_hops == 0.0

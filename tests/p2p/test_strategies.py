@@ -1,0 +1,164 @@
+"""Tests of the placement strategies (paper §4.2, §6, §8)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import broder_graph
+from repro.p2p import (
+    cross_edge_fraction,
+    host_clustered_placement,
+    link_clustered_placement,
+    random_placement,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return broder_graph(2000, seed=0)
+
+
+class TestRandomPlacement:
+    def test_cross_fraction_near_theory(self, graph):
+        pl = random_placement(graph.num_nodes, 100, seed=1)
+        frac = cross_edge_fraction(graph, pl)
+        assert frac == pytest.approx(1 - 1 / 100, abs=0.02)
+
+
+class TestLinkClustered:
+    def test_valid_placement(self, graph):
+        pl = link_clustered_placement(graph, 50, seed=2)
+        assert pl.num_docs == graph.num_nodes
+        assert pl.num_peers == 50
+        # every document placed
+        assert pl.assignment.min() >= 0
+
+    def test_roughly_balanced(self, graph):
+        pl = link_clustered_placement(graph, 50, seed=2)
+        counts = np.bincount(pl.assignment, minlength=50)
+        assert counts.max() <= 3 * np.ceil(graph.num_nodes / 50)
+
+    def test_beats_random_on_cross_edges(self, graph):
+        clustered = link_clustered_placement(graph, 50, seed=2)
+        rand = random_placement(graph.num_nodes, 50, seed=3)
+        assert cross_edge_fraction(graph, clustered) < cross_edge_fraction(graph, rand)
+
+    def test_deterministic(self, graph):
+        a = link_clustered_placement(graph, 10, seed=7)
+        b = link_clustered_placement(graph, 10, seed=7)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            link_clustered_placement(graph, 0)
+
+
+class TestHostClustered:
+    def test_hosts_are_atomic(self):
+        pl, host_of = host_clustered_placement(1000, 20, seed=4)
+        assert pl.num_docs == 1000
+        assert host_of.shape == (1000,)
+        # all documents of one host share a peer
+        for host in np.unique(host_of)[:50]:
+            peers = np.unique(pl.assignment[host_of == host])
+            assert peers.size == 1
+
+    def test_host_sizes_heavy_tailed(self):
+        _, host_of = host_clustered_placement(
+            5000, 20, mean_host_size=10.0, seed=5
+        )
+        sizes = np.bincount(host_of)
+        sizes = sizes[sizes > 0]
+        assert sizes.max() > 5 * np.median(sizes)
+
+    def test_total_docs_exact(self):
+        pl, host_of = host_clustered_placement(777, 5, seed=6)
+        assert pl.num_docs == 777
+        assert int(np.bincount(host_of).sum()) == 777
+
+    def test_deterministic(self):
+        a_pl, a_h = host_clustered_placement(300, 5, seed=8)
+        b_pl, b_h = host_clustered_placement(300, 5, seed=8)
+        assert np.array_equal(a_pl.assignment, b_pl.assignment)
+        assert np.array_equal(a_h, b_h)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            host_clustered_placement(0, 5)
+        with pytest.raises(ValueError):
+            host_clustered_placement(10, 0)
+        with pytest.raises(ValueError):
+            host_clustered_placement(10, 5, mean_host_size=0.5)
+
+
+class TestCrossEdgeFraction:
+    def test_single_peer_zero(self, graph):
+        pl = random_placement(graph.num_nodes, 1, seed=0)
+        assert cross_edge_fraction(graph, pl) == 0.0
+
+    def test_mismatch_rejected(self, graph):
+        pl = random_placement(10, 2, seed=0)
+        with pytest.raises(ValueError):
+            cross_edge_fraction(graph, pl)
+
+    def test_empty_graph(self):
+        from repro.graphs import LinkGraph
+
+        g = LinkGraph.from_edges([], num_nodes=5)
+        pl = random_placement(5, 2, seed=0)
+        assert cross_edge_fraction(g, pl) == 0.0
+
+
+class TestRefinePlacement:
+    def test_reduces_cross_edges(self, graph):
+        from repro.p2p import refine_placement
+
+        base = link_clustered_placement(graph, 20, seed=1)
+        refined = refine_placement(graph, base, seed=2)
+        assert cross_edge_fraction(graph, refined) < cross_edge_fraction(graph, base)
+
+    def test_respects_balance_cap(self, graph):
+        from repro.p2p import refine_placement
+
+        base = random_placement(graph.num_nodes, 20, seed=3)
+        refined = refine_placement(graph, base, balance_slack=1.1, seed=4)
+        counts = np.bincount(refined.assignment, minlength=20)
+        cap = int(np.ceil(graph.num_nodes / 20 * 1.1))
+        assert counts.max() <= cap
+
+    def test_input_untouched(self, graph):
+        from repro.p2p import refine_placement
+
+        base = random_placement(graph.num_nodes, 10, seed=5)
+        before = base.assignment.copy()
+        refine_placement(graph, base, seed=6)
+        assert np.array_equal(base.assignment, before)
+
+    def test_deterministic(self, graph):
+        from repro.p2p import refine_placement
+
+        base = random_placement(graph.num_nodes, 10, seed=7)
+        a = refine_placement(graph, base, seed=8)
+        b = refine_placement(graph, base, seed=8)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_ranks_unchanged_by_placement(self, graph):
+        from repro.core import ChaoticPagerank
+        from repro.p2p import refine_placement
+
+        base = random_placement(graph.num_nodes, 10, seed=9)
+        refined = refine_placement(graph, base, seed=10)
+        a = ChaoticPagerank(graph, base.assignment, num_peers=10, epsilon=1e-4).run()
+        b = ChaoticPagerank(graph, refined.assignment, num_peers=10, epsilon=1e-4).run()
+        assert np.allclose(a.ranks, b.ranks, rtol=1e-8)
+        assert b.total_messages < a.total_messages
+
+    def test_validation(self, graph):
+        from repro.p2p import refine_placement
+
+        base = random_placement(graph.num_nodes, 10, seed=11)
+        with pytest.raises(ValueError):
+            refine_placement(graph, base, max_sweeps=0)
+        with pytest.raises(ValueError):
+            refine_placement(graph, base, balance_slack=0.9)
+        with pytest.raises(ValueError):
+            refine_placement(graph, random_placement(5, 2, seed=0))

@@ -1,0 +1,116 @@
+"""Tests of the Bloom filter and Bloom-assisted search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search import (
+    DOC_ID_BYTES,
+    BloomFilter,
+    DistributedIndex,
+    Query,
+    baseline_search,
+    bloom_search,
+)
+
+
+class TestBloomFilter:
+    def test_added_keys_always_found(self):
+        bf = BloomFilter(1024, 4)
+        keys = list(range(0, 200, 7))
+        bf.add_many(keys)
+        assert all(k in bf for k in keys)
+
+    @given(st.sets(st.integers(0, 10**9), max_size=60))
+    @settings(max_examples=30)
+    def test_no_false_negatives_property(self, keys):
+        bf = BloomFilter.for_capacity(max(len(keys), 1), 0.01)
+        bf.add_many(keys)
+        assert all(k in bf for k in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter.for_capacity(500, 0.01)
+        bf.add_many(range(500))
+        probes = np.arange(10_000, 30_000)
+        fp = bf.contains_many(probes).mean()
+        assert fp < 0.05  # target 1%, generous margin
+
+    def test_empty_filter_rejects_everything(self):
+        bf = BloomFilter(256, 3)
+        assert 42 not in bf
+        assert bf.fill_ratio == 0.0
+
+    def test_for_capacity_sizing(self):
+        bf = BloomFilter.for_capacity(1000, 0.01)
+        # textbook: ~9.6 bits/element, ~7 hashes at 1% fp
+        assert 8_000 < bf.num_bits < 12_000
+        assert 5 <= bf.num_hashes <= 9
+
+    def test_size_bytes(self):
+        assert BloomFilter(1024, 3).size_bytes == 128
+        assert BloomFilter(1025, 3).size_bytes == 129
+
+    def test_expected_fp_rate_tracks_load(self):
+        bf = BloomFilter.for_capacity(100, 0.01)
+        empty = bf.expected_fp_rate()
+        bf.add_many(range(100))
+        assert bf.expected_fp_rate() > empty
+        assert bf.expected_fp_rate() == pytest.approx(0.01, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(4, 1)
+        with pytest.raises(ValueError):
+            BloomFilter(64, 0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(0)
+        with pytest.raises(ValueError):
+            BloomFilter.for_capacity(10, 1.5)
+
+
+class TestBloomSearch:
+    @pytest.fixture(scope="class")
+    def setup(self, tiny_corpus):
+        rng = np.random.default_rng(0)
+        ranks = rng.uniform(0.15, 5.0, tiny_corpus.num_documents)
+        return DistributedIndex(tiny_corpus, ranks, num_peers=5)
+
+    def test_exact_results(self, setup, tiny_corpus):
+        index = setup
+        top = tiny_corpus.top_terms(4)
+        q = Query(terms=(int(top[0]), int(top[1])))
+        bloom = bloom_search(index, q)
+        base = baseline_search(index, q)
+        # verification removes the filter's false positives: exact.
+        assert set(bloom.hits.tolist()) == set(base.hits.tolist())
+
+    def test_traffic_beats_plain_ids_on_large_sets(self, setup, tiny_corpus):
+        index = setup
+        top = tiny_corpus.top_terms(2)
+        q = Query(terms=(int(top[0]), int(top[1])))
+        out = bloom_search(index, q)
+        # filters are ~10 bits/id vs 128-bit ids: must win on big sets.
+        assert out.reduction_factor > 1.0
+
+    def test_false_positives_counted(self, setup, tiny_corpus):
+        index = setup
+        top = tiny_corpus.top_terms(2)
+        q = Query(terms=(int(top[0]), int(top[1])))
+        out = bloom_search(index, q, fp_rate=0.5)  # deliberately sloppy
+        assert out.false_positives >= 0
+
+    def test_composes_with_incremental(self, setup, tiny_corpus):
+        index = setup
+        top = tiny_corpus.top_terms(2)
+        q = Query(terms=(int(top[0]), int(top[1])))
+        plain = bloom_search(index, q)
+        combined = bloom_search(index, q, fraction=0.1, min_forward=5)
+        # §2.4.3: coupling top-x% with Bloom gives further reduction.
+        assert combined.traffic_bytes <= plain.traffic_bytes
+
+    def test_single_term_query(self, setup):
+        index = setup
+        q = Query(terms=(0,))
+        out = bloom_search(index, q)
+        assert out.traffic_bytes == out.hits.size * DOC_ID_BYTES

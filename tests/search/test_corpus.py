@@ -1,0 +1,108 @@
+"""Tests of the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.search import CorpusConfig, synthesize_corpus
+
+
+class TestCorpusConfig:
+    def test_defaults_match_paper(self):
+        cfg = CorpusConfig()
+        assert cfg.num_documents == 11_000
+        assert cfg.vocab_size == 1_880
+        assert cfg.num_stopwords == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(num_documents=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(vocab_size=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(raw_vocab_size=100, vocab_size=90, num_stopwords=20)
+        with pytest.raises(ValueError):
+            CorpusConfig(zipf_exponent=-1.0)
+
+
+class TestSynthesis:
+    def test_shape_and_vocab(self, tiny_corpus):
+        assert tiny_corpus.num_documents == 400
+        assert tiny_corpus.vocab_size <= 150
+        for terms in tiny_corpus.doc_terms:
+            assert terms.dtype == np.int64
+            if terms.size:
+                assert terms.min() >= 0
+                assert terms.max() < tiny_corpus.vocab_size
+                # sorted and distinct
+                assert np.all(np.diff(terms) > 0)
+
+    def test_document_frequency_consistent(self, tiny_corpus):
+        df = np.zeros(tiny_corpus.vocab_size, dtype=np.int64)
+        for terms in tiny_corpus.doc_terms:
+            df[terms] += 1
+        assert np.array_equal(df, tiny_corpus.document_frequency)
+
+    def test_terms_ordered_by_frequency(self, tiny_corpus):
+        # Renumbering puts the most document-frequent term at id 0;
+        # allow small inversions from ties but the trend must hold.
+        df = tiny_corpus.document_frequency
+        assert df[0] >= df[-1]
+        assert df[: len(df) // 4].mean() > df[-len(df) // 4 :].mean()
+
+    def test_top_terms(self, tiny_corpus):
+        top = tiny_corpus.top_terms(10)
+        assert top.size == 10
+        df = tiny_corpus.document_frequency
+        assert df[top[0]] == df.max()
+        # each listed term is at least as frequent as the next
+        assert np.all(np.diff(df[top]) <= 0)
+
+    def test_top_terms_clipped_to_vocab(self, tiny_corpus):
+        assert tiny_corpus.top_terms(10_000).size == tiny_corpus.vocab_size
+
+    def test_top_terms_validation(self, tiny_corpus):
+        with pytest.raises(ValueError):
+            tiny_corpus.top_terms(0)
+
+    def test_deterministic(self):
+        cfg = CorpusConfig(
+            num_documents=50, vocab_size=40, num_stopwords=5,
+            raw_vocab_size=200, mean_terms_per_doc=30.0,
+        )
+        a = synthesize_corpus(cfg, seed=9)
+        b = synthesize_corpus(cfg, seed=9)
+        assert all(np.array_equal(x, y) for x, y in zip(a.doc_terms, b.doc_terms))
+
+    def test_link_graph_generated(self, tiny_corpus):
+        assert tiny_corpus.link_graph is not None
+        assert tiny_corpus.link_graph.num_nodes == tiny_corpus.num_documents
+
+    def test_without_links(self):
+        cfg = CorpusConfig(
+            num_documents=30, vocab_size=20, num_stopwords=5,
+            raw_vocab_size=100, mean_terms_per_doc=20.0,
+        )
+        corpus = synthesize_corpus(cfg, seed=0, with_links=False)
+        assert corpus.link_graph is None
+
+    def test_documents_with_term(self, tiny_corpus):
+        term = int(tiny_corpus.top_terms(1)[0])
+        docs = tiny_corpus.documents_with_term(term)
+        assert docs.size == tiny_corpus.document_frequency[term]
+        for d in docs[:10]:
+            assert term in tiny_corpus.doc_terms[int(d)]
+
+    def test_documents_with_term_bounds(self, tiny_corpus):
+        with pytest.raises(IndexError):
+            tiny_corpus.documents_with_term(99_999)
+
+    def test_frequent_terms_are_common(self):
+        # With paper-like density, the top terms should hit a large
+        # fraction of documents (what drives Table 6's traffic).
+        cfg = CorpusConfig(
+            num_documents=500, vocab_size=300, num_stopwords=30,
+            raw_vocab_size=3000, mean_terms_per_doc=400.0,
+        )
+        corpus = synthesize_corpus(cfg, seed=1)
+        top_df = corpus.document_frequency[corpus.top_terms(20)]
+        assert (top_df / corpus.num_documents).mean() > 0.2

@@ -1,0 +1,93 @@
+"""Tests of the FASD closeness ⊕ pagerank scoring variant."""
+
+import numpy as np
+import pytest
+
+from repro.search import FasdScorer
+
+
+@pytest.fixture()
+def scorer_inputs(tiny_corpus):
+    rng = np.random.default_rng(0)
+    ranks = rng.uniform(0.15, 10.0, tiny_corpus.num_documents)
+    return tiny_corpus, ranks
+
+
+class TestCloseness:
+    def test_bounds(self, scorer_inputs):
+        corpus, ranks = scorer_inputs
+        scorer = FasdScorer(corpus, ranks, alpha=1.0)
+        close = scorer.closeness(corpus.doc_terms[0][:3].tolist())
+        assert np.all(close >= 0.0) and np.all(close <= 1.0 + 1e-12)
+
+    def test_self_query_maximises_own_closeness(self, scorer_inputs):
+        corpus, ranks = scorer_inputs
+        scorer = FasdScorer(corpus, ranks, alpha=1.0)
+        # querying a document's full term set: that document scores
+        # sqrt(|terms|)/sqrt(|terms|) relative... its cosine is
+        # |terms| / (sqrt(|terms|)*sqrt(|terms|)) = 1 only if the query
+        # equals its key exactly; it must at least beat a disjoint doc.
+        doc = max(range(corpus.num_documents), key=lambda d: corpus.doc_terms[d].size)
+        close = scorer.closeness(corpus.doc_terms[doc].tolist())
+        disjoint = [
+            d
+            for d in range(corpus.num_documents)
+            if np.intersect1d(corpus.doc_terms[d], corpus.doc_terms[doc]).size == 0
+        ]
+        if disjoint:
+            assert close[doc] > close[disjoint[0]]
+
+    def test_validation(self, scorer_inputs):
+        corpus, ranks = scorer_inputs
+        scorer = FasdScorer(corpus, ranks)
+        with pytest.raises(ValueError):
+            scorer.closeness([])
+        with pytest.raises(ValueError):
+            scorer.closeness([10**9])
+
+
+class TestCombinedScore:
+    def test_alpha_zero_is_pure_pagerank(self, scorer_inputs):
+        corpus, ranks = scorer_inputs
+        scorer = FasdScorer(corpus, ranks, alpha=0.0)
+        result = scorer.search([0], top_k=10)
+        top_by_rank = np.argsort(-ranks, kind="stable")[:10]
+        assert set(result.docs.tolist()) == set(top_by_rank.tolist())
+
+    def test_alpha_one_is_pure_closeness(self, scorer_inputs):
+        corpus, ranks = scorer_inputs
+        scorer = FasdScorer(corpus, ranks, alpha=1.0)
+        q = corpus.doc_terms[0][:2].tolist()
+        result = scorer.search(q, top_k=5)
+        close = scorer.closeness(q)
+        assert np.allclose(result.scores, close[result.docs])
+
+    def test_interpolation_changes_ordering(self, scorer_inputs):
+        corpus, ranks = scorer_inputs
+        q = corpus.top_terms(3).tolist()
+        pure_content = FasdScorer(corpus, ranks, alpha=1.0).search(q, top_k=20)
+        pure_rank = FasdScorer(corpus, ranks, alpha=0.0).search(q, top_k=20)
+        mixed = FasdScorer(corpus, ranks, alpha=0.5).search(q, top_k=20)
+        # the mixed ordering is its own thing (unless degenerate)
+        assert not np.array_equal(mixed.docs, pure_content.docs) or not np.array_equal(
+            mixed.docs, pure_rank.docs
+        )
+
+    def test_scores_sorted_descending(self, scorer_inputs):
+        corpus, ranks = scorer_inputs
+        result = FasdScorer(corpus, ranks, alpha=0.5).search([0, 1], top_k=30)
+        assert np.all(np.diff(result.scores) <= 1e-12)
+
+    def test_top_k_clipped(self, scorer_inputs):
+        corpus, ranks = scorer_inputs
+        result = FasdScorer(corpus, ranks).search([0], top_k=10**6)
+        assert result.docs.size == corpus.num_documents
+
+    def test_validation(self, scorer_inputs):
+        corpus, ranks = scorer_inputs
+        with pytest.raises(ValueError):
+            FasdScorer(corpus, ranks, alpha=2.0)
+        with pytest.raises(ValueError):
+            FasdScorer(corpus, np.ones(3))
+        with pytest.raises(ValueError):
+            FasdScorer(corpus, ranks).search([0], top_k=0)

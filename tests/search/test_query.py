@@ -1,0 +1,47 @@
+"""Tests of synthetic query generation."""
+
+import pytest
+
+from repro.search import Query, generate_queries
+
+
+class TestQuery:
+    def test_basic(self):
+        q = Query(terms=(1, 2, 3))
+        assert len(q) == 3
+
+    def test_needs_terms(self):
+        with pytest.raises(ValueError):
+            Query(terms=())
+
+    def test_distinct_terms_required(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Query(terms=(1, 1))
+
+
+class TestGeneration:
+    def test_counts_and_arity(self, tiny_corpus):
+        qs = generate_queries(tiny_corpus, num_queries=15, terms_per_query=3, seed=0)
+        assert len(qs) == 15
+        assert all(len(q) == 3 for q in qs)
+
+    def test_terms_from_pool(self, tiny_corpus):
+        pool = set(tiny_corpus.top_terms(100).tolist())
+        qs = generate_queries(
+            tiny_corpus, num_queries=30, terms_per_query=2, term_pool_size=100, seed=1
+        )
+        for q in qs:
+            assert set(q.terms) <= pool
+
+    def test_deterministic(self, tiny_corpus):
+        a = generate_queries(tiny_corpus, num_queries=5, seed=7)
+        b = generate_queries(tiny_corpus, num_queries=5, seed=7)
+        assert [q.terms for q in a] == [q.terms for q in b]
+
+    def test_validation(self, tiny_corpus):
+        with pytest.raises(ValueError):
+            generate_queries(tiny_corpus, num_queries=0)
+        with pytest.raises(ValueError):
+            generate_queries(tiny_corpus, terms_per_query=0)
+        with pytest.raises(ValueError):
+            generate_queries(tiny_corpus, terms_per_query=5, term_pool_size=3)

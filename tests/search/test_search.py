@@ -1,0 +1,238 @@
+"""Tests of baseline and incremental search execution."""
+
+import numpy as np
+import pytest
+
+from repro.search import (
+    DistributedIndex,
+    Query,
+    baseline_search,
+    forward_top_fraction,
+    generate_queries,
+    incremental_search,
+)
+
+
+@pytest.fixture(scope="module")
+def searchable(tiny_corpus_module):
+    corpus = tiny_corpus_module
+    rng = np.random.default_rng(1)
+    ranks = rng.pareto(1.2, corpus.num_documents) + 0.15
+    index = DistributedIndex(corpus, ranks, num_peers=8)
+    queries = generate_queries(
+        corpus, num_queries=12, terms_per_query=2, term_pool_size=50, seed=2
+    ) + generate_queries(
+        corpus, num_queries=12, terms_per_query=3, term_pool_size=50, seed=3
+    )
+    return index, queries
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus_module():
+    from repro.search import CorpusConfig, synthesize_corpus
+
+    cfg = CorpusConfig(
+        num_documents=400,
+        vocab_size=150,
+        num_stopwords=20,
+        raw_vocab_size=1_000,
+        mean_terms_per_doc=120.0,
+    )
+    return synthesize_corpus(cfg, seed=3)
+
+
+class TestBaseline:
+    def test_single_term_returns_postings(self, searchable):
+        index, _ = searchable
+        q = Query(terms=(0,))
+        out = baseline_search(index, q)
+        assert np.array_equal(out.hits, index.postings(0).docs)
+        # only the return-to-user hop
+        assert out.hop_sizes == (out.num_hits,)
+
+    def test_hits_are_true_intersection(self, searchable, tiny_corpus_module):
+        index, queries = searchable
+        corpus = tiny_corpus_module
+        for q in queries[:6]:
+            out = baseline_search(index, q)
+            expected = set(range(corpus.num_documents))
+            for t in q.terms:
+                expected &= set(corpus.documents_with_term(t).tolist())
+            assert set(out.hits.tolist()) == expected
+
+    def test_hits_sorted_by_rank(self, searchable):
+        index, queries = searchable
+        out = baseline_search(index, queries[0])
+        ranks = index.ranks_of(out.hits)
+        assert np.all(np.diff(ranks) <= 1e-12)
+
+    def test_traffic_is_sum_of_hops(self, searchable):
+        index, queries = searchable
+        for q in queries[:4]:
+            out = baseline_search(index, q)
+            assert out.traffic_doc_ids == sum(out.hop_sizes)
+            assert len(out.hop_sizes) == len(q)
+
+
+class TestIncremental:
+    def test_hits_subset_of_baseline(self, searchable):
+        index, queries = searchable
+        for q in queries:
+            base = baseline_search(index, q)
+            inc = incremental_search(index, q, fraction=0.1)
+            assert set(inc.hits.tolist()) <= set(base.hits.tolist())
+
+    def test_traffic_never_exceeds_baseline(self, searchable):
+        index, queries = searchable
+        for q in queries:
+            base = baseline_search(index, q)
+            inc = incremental_search(index, q, fraction=0.1)
+            assert inc.traffic_doc_ids <= base.traffic_doc_ids
+
+    def test_full_fraction_no_floor_equals_baseline(self, searchable):
+        index, queries = searchable
+        for q in queries[:8]:
+            base = baseline_search(index, q)
+            inc = incremental_search(index, q, fraction=1.0, min_forward=0)
+            assert np.array_equal(np.sort(inc.hits), np.sort(base.hits))
+            assert inc.traffic_doc_ids == base.traffic_doc_ids
+
+    def test_forwarded_hits_are_top_ranked(self, searchable):
+        index, queries = searchable
+        q = queries[0]
+        inc = incremental_search(index, q, fraction=0.1, min_forward=0)
+        # every returned hit must rank at least as high as the best
+        # baseline hit that was cut (the forwarded prefix is the top).
+        postings = index.postings(q.terms[0])
+        k = int(np.ceil(len(postings) * 0.1))
+        forwarded = set(postings.docs[:k].tolist())
+        assert set(inc.hits.tolist()) <= forwarded | set()
+
+    def test_floor_forwards_everything_when_small(self, searchable):
+        index, _ = searchable
+        q = Query(terms=(0, 1))
+        # gigantic floor: everything is forwarded, equals baseline.
+        inc = incremental_search(index, q, fraction=0.01, min_forward=10**9)
+        base = baseline_search(index, q)
+        assert np.array_equal(np.sort(inc.hits), np.sort(base.hits))
+
+    def test_smaller_fraction_less_traffic(self, searchable):
+        index, queries = searchable
+        totals = []
+        for frac in (0.05, 0.2, 0.8):
+            t = sum(
+                incremental_search(index, q, fraction=frac, min_forward=0).traffic_doc_ids
+                for q in queries
+            )
+            totals.append(t)
+        assert totals[0] < totals[1] < totals[2]
+
+
+class TestForwardTopFraction:
+    def test_truncates(self):
+        docs = np.arange(100)
+        assert forward_top_fraction(docs, 0.25, min_forward=0).size == 25
+
+    def test_ceil_behaviour(self):
+        docs = np.arange(7)
+        assert forward_top_fraction(docs, 0.5, min_forward=0).size == 4
+
+    def test_floor_rule(self):
+        docs = np.arange(100)
+        assert forward_top_fraction(docs, 0.1, min_forward=20).size == 100
+        assert forward_top_fraction(docs, 0.3, min_forward=20).size == 30
+
+    def test_returns_copy(self):
+        docs = np.arange(10)
+        out = forward_top_fraction(docs, 1.0, min_forward=0)
+        out[0] = 99
+        assert docs[0] == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            forward_top_fraction(np.arange(5), 0.0)
+        with pytest.raises(ValueError):
+            forward_top_fraction(np.arange(5), 0.5, min_forward=-1)
+
+
+class TestPaperAnomaly:
+    """Table 6's quirk: top-20% can return FEWER hits than top-10%."""
+
+    def test_anomaly_mechanism(self, searchable):
+        index, _ = searchable
+        # Construct the situation directly: a 150-hit set. 10% = 15
+        # (< 20 => ship all 150); 20% = 30 (>= 20 => ship only 30).
+        docs = index.postings(0).docs[:150]
+        ten = forward_top_fraction(docs, 0.1, min_forward=20)
+        twenty = forward_top_fraction(docs, 0.2, min_forward=20)
+        assert ten.size == 150
+        assert twenty.size == 30
+        assert ten.size > twenty.size
+
+
+class TestDegenerateQueries:
+    def test_term_with_no_postings(self, searchable):
+        index, _ = searchable
+        q = Query(terms=(10_000_000, 0))
+        base = baseline_search(index, q)
+        inc = incremental_search(index, q, fraction=0.1)
+        assert base.num_hits == 0
+        assert inc.num_hits == 0
+        # empty transfers still counted structurally
+        assert base.traffic_doc_ids == 0
+        assert inc.traffic_doc_ids == 0
+
+    def test_disjoint_terms_yield_empty(self, searchable, tiny_corpus_module):
+        index, _ = searchable
+        corpus = tiny_corpus_module
+        # find two terms with no common documents, if any exist
+        df = corpus.document_frequency
+        rare = np.argsort(df)[:10]
+        for i in range(len(rare)):
+            for j in range(i + 1, len(rare)):
+                a = set(corpus.documents_with_term(int(rare[i])).tolist())
+                b = set(corpus.documents_with_term(int(rare[j])).tolist())
+                if a and b and not (a & b):
+                    q = Query(terms=(int(rare[i]), int(rare[j])))
+                    out = baseline_search(index, q)
+                    assert out.num_hits == 0
+                    return
+        pytest.skip("corpus has no disjoint rare term pair")
+
+    def test_repeated_query_execution_is_pure(self, searchable):
+        index, queries = searchable
+        q = queries[0]
+        a = incremental_search(index, q, fraction=0.1)
+        b = incremental_search(index, q, fraction=0.1)
+        assert np.array_equal(a.hits, b.hits)
+        assert a.traffic_doc_ids == b.traffic_doc_ids
+
+
+class TestUserTopK:
+    """§4.9: 'other documents can be fetched incrementally if requested'."""
+
+    def test_truncates_final_return(self, searchable):
+        index, queries = searchable
+        q = queries[0]
+        full = incremental_search(index, q, fraction=0.5)
+        paged = incremental_search(index, q, fraction=0.5, user_top_k=3)
+        if full.num_hits <= 3:
+            pytest.skip("query too small to truncate")
+        assert paged.num_hits == 3
+        # the page is the top of the full result
+        assert np.array_equal(paged.hits, full.hits[:3])
+        # and the final hop is what got cheaper
+        assert paged.traffic_doc_ids == full.traffic_doc_ids - (full.num_hits - 3)
+
+    def test_k_larger_than_result_is_noop(self, searchable):
+        index, queries = searchable
+        q = queries[1]
+        full = incremental_search(index, q, fraction=0.5)
+        paged = incremental_search(index, q, fraction=0.5, user_top_k=10**6)
+        assert np.array_equal(paged.hits, full.hits)
+        assert paged.traffic_doc_ids == full.traffic_doc_ids
+
+    def test_validation(self, searchable):
+        index, queries = searchable
+        with pytest.raises(ValueError):
+            incremental_search(index, queries[0], user_top_k=0)

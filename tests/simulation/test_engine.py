@@ -1,0 +1,140 @@
+"""Tests of the protocol-level simulator, cross-validated against the
+vectorized engine — the key fidelity guarantee of the reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChaoticPagerank
+from repro.graphs import broder_graph
+from repro.p2p import (
+    CachedDirectDelivery,
+    DocumentPlacement,
+    FixedFractionChurn,
+    P2PNetwork,
+    RoutedDelivery,
+)
+from repro.simulation import P2PPagerankSimulation
+
+
+def build(num_docs=150, num_peers=8, seed=0, ring=False):
+    g = broder_graph(num_docs, seed=seed)
+    pl = DocumentPlacement.random(num_docs, num_peers, seed=seed + 1)
+    net = P2PNetwork(num_peers, pl, build_ring=ring)
+    return g, pl, net
+
+
+class TestCrossValidation:
+    """The object-level protocol and the vectorized array engine must
+    agree exactly: same ranks, same message totals, same pass counts."""
+
+    @pytest.mark.parametrize("eps", [0.05, 1e-3, 1e-5])
+    def test_static_identical(self, eps):
+        g, pl, net = build()
+        obj = P2PPagerankSimulation(g, net, epsilon=eps).run()
+        vec = ChaoticPagerank(g, pl.assignment, num_peers=8, epsilon=eps).run()
+        assert obj.passes == vec.passes
+        assert obj.total_messages == vec.total_messages
+        assert np.array_equal(obj.ranks, vec.ranks)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_static_identical_across_seeds(self, seed):
+        g, pl, net = build(num_docs=120, num_peers=5, seed=seed * 10)
+        obj = P2PPagerankSimulation(g, net, epsilon=1e-4).run()
+        vec = ChaoticPagerank(g, pl.assignment, num_peers=5, epsilon=1e-4).run()
+        assert obj.total_messages == vec.total_messages
+        assert np.array_equal(obj.ranks, vec.ranks)
+
+    def test_churn_identical(self):
+        g, pl, net = build(num_docs=100, num_peers=6, seed=7)
+        # identical churn sequences via identical seeds
+        obj = P2PPagerankSimulation(g, net, epsilon=1e-3).run(
+            availability=FixedFractionChurn(6, 0.5, seed=99), max_passes=3000
+        )
+        vec = ChaoticPagerank(g, pl.assignment, num_peers=6, epsilon=1e-3).run(
+            availability=FixedFractionChurn(6, 0.5, seed=99), max_passes=3000
+        )
+        assert obj.converged and vec.converged
+        assert obj.passes == vec.passes
+        assert obj.total_messages == vec.total_messages
+        assert np.allclose(obj.ranks, vec.ranks, rtol=1e-12)
+
+    def test_per_pass_history_matches(self):
+        g, pl, net = build(num_docs=80, num_peers=4, seed=17)
+        obj = P2PPagerankSimulation(g, net, epsilon=1e-3).run()
+        vec = ChaoticPagerank(g, pl.assignment, num_peers=4, epsilon=1e-3).run()
+        assert [p.messages for p in obj.history] == [p.messages for p in vec.history]
+        assert [p.active_documents for p in obj.history] == [
+            p.active_documents for p in vec.history
+        ]
+
+
+class TestTrafficAccounting:
+    def test_traffic_summary_populated(self):
+        g, pl, net = build()
+        sim = P2PPagerankSimulation(g, net, epsilon=1e-3)
+        report = sim.run()
+        assert sim.traffic.update_messages == report.total_messages
+        assert sim.traffic.bytes_transferred == report.total_messages * 24
+        assert sim.traffic.network_batches > 0
+        assert sim.traffic.resent_messages == 0  # no churn
+
+    def test_resends_counted_under_churn(self):
+        g, pl, net = build(num_docs=100, num_peers=6, seed=5)
+        sim = P2PPagerankSimulation(g, net, epsilon=1e-3)
+        report = sim.run(
+            availability=FixedFractionChurn(6, 0.5, seed=3), max_passes=3000
+        )
+        assert report.converged
+        assert sim.traffic.resent_messages > 0
+
+    def test_batching_reduces_network_calls(self):
+        g, pl, net = build()
+        sim = P2PPagerankSimulation(g, net, epsilon=1e-3)
+        sim.run()
+        # batches group many updates: strictly fewer calls than messages
+        assert sim.traffic.network_batches < sim.traffic.update_messages
+
+
+class TestDeliveryPolicies:
+    def test_cached_policy_charges_hops(self):
+        g, pl, net = build(ring=True)
+        policy = CachedDirectDelivery(net.ring)
+        sim = P2PPagerankSimulation(g, net, epsilon=1e-3, delivery_policy=policy)
+        sim.run()
+        stats = policy.total_stats()
+        # every (sender, target) pair misses exactly once
+        assert stats["misses"] > 0
+        assert sim.traffic.routing_hops >= sim.traffic.update_messages
+
+    def test_routed_mode_costs_more_than_cached(self):
+        g, pl, net = build(ring=True, seed=3)
+        cached = CachedDirectDelivery(net.ring)
+        sim1 = P2PPagerankSimulation(g, net, epsilon=1e-3, delivery_policy=cached)
+        sim1.run()
+        g2, pl2, net2 = build(ring=True, seed=3)
+        routed = RoutedDelivery(net2.ring)
+        sim2 = P2PPagerankSimulation(g2, net2, epsilon=1e-3, delivery_policy=routed)
+        sim2.run()
+        # same message stream; Freenet-style routing pays more hops
+        assert sim1.traffic.update_messages == sim2.traffic.update_messages
+        assert sim2.traffic.routing_hops > sim1.traffic.routing_hops
+
+
+class TestValidation:
+    def test_requires_placement(self):
+        g = broder_graph(50, seed=0)
+        net = P2PNetwork(4, build_ring=False)
+        with pytest.raises(ValueError, match="placement"):
+            P2PPagerankSimulation(g, net)
+
+    def test_placement_size_must_match(self):
+        g = broder_graph(50, seed=0)
+        pl = DocumentPlacement.random(40, 4, seed=1)
+        net = P2PNetwork(4, pl, build_ring=False)
+        with pytest.raises(ValueError, match="documents"):
+            P2PPagerankSimulation(g, net)
+
+    def test_bad_max_passes(self):
+        g, pl, net = build()
+        with pytest.raises(ValueError):
+            P2PPagerankSimulation(g, net).run(max_passes=0)

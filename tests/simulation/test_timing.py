@@ -1,0 +1,96 @@
+"""Tests of the Eq. 4 execution-time model."""
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+
+from repro.simulation import (
+    RATE_32KBPS,
+    RATE_200KBPS,
+    RATE_T3,
+    TransferModel,
+    internet_scale_estimate,
+    pass_time_parallel,
+    total_time_serialized,
+)
+
+
+class TestTotalTimeSerialized:
+    def test_paper_5000k_magnitude(self):
+        # The paper: 169.1M messages at eps=0.2 -> 33.7 h at 32 KB/s.
+        model = TransferModel(rate_bytes_per_s=RATE_32KBPS)
+        hours = total_time_serialized(169_100_000, model) / 3600
+        assert hours == pytest.approx(34.4, abs=1.0)
+
+    def test_rate_scaling(self):
+        slow = TransferModel(rate_bytes_per_s=RATE_32KBPS)
+        fast = TransferModel(rate_bytes_per_s=RATE_200KBPS)
+        t_slow = total_time_serialized(1_000_000, slow)
+        t_fast = total_time_serialized(1_000_000, fast)
+        assert t_slow / t_fast == pytest.approx(200 / 32, rel=1e-9)
+
+    def test_compute_cost_added_per_pass(self):
+        model = TransferModel(rate_bytes_per_s=RATE_32KBPS, compute_time_per_pass=60.0)
+        with_compute = total_time_serialized(1000, model, passes=10)
+        without = total_time_serialized(1000, TransferModel(RATE_32KBPS))
+        assert with_compute == pytest.approx(without + 600.0)
+
+    def test_validation(self):
+        model = TransferModel(rate_bytes_per_s=1000)
+        with pytest.raises(ValueError):
+            total_time_serialized(-1, model)
+        with pytest.raises(ValueError):
+            total_time_serialized(1, model, passes=-1)
+        with pytest.raises(ValueError):
+            TransferModel(rate_bytes_per_s=0)
+
+
+class TestPassTimeParallel:
+    def test_max_over_peers(self):
+        # peer 0 sends 100 msgs, peer 1 sends 10: the slow peer bounds.
+        links = np.array([[0, 100], [10, 0]])
+        model = TransferModel(rate_bytes_per_s=24.0)  # 1 msg/s
+        assert pass_time_parallel(links, model) == pytest.approx(100.0)
+
+    def test_sparse_input(self):
+        links = csr_matrix(np.array([[0, 5], [3, 0]]))
+        model = TransferModel(rate_bytes_per_s=24.0)
+        assert pass_time_parallel(links, model) == pytest.approx(5.0)
+
+    def test_compute_term(self):
+        links = np.zeros((3, 3))
+        model = TransferModel(rate_bytes_per_s=1.0, compute_time_per_pass=7.0)
+        assert pass_time_parallel(links, model) == pytest.approx(7.0)
+
+    def test_parallel_leq_serialized(self):
+        rng = np.random.default_rng(0)
+        links = rng.integers(0, 50, size=(10, 10))
+        model = TransferModel(rate_bytes_per_s=1000.0)
+        parallel = pass_time_parallel(links, model)
+        serial = total_time_serialized(int(links.sum()), model)
+        assert parallel <= serial
+
+
+class TestInternetScale:
+    def test_order_of_magnitude(self):
+        # ~40 msgs/doc at eps=1e-3 over 3e9 docs on a T3: days, not
+        # minutes, not years — and within the paper's 4-35 day window.
+        days = internet_scale_estimate(40.0)
+        assert 1.0 < days < 60.0
+
+    def test_scales_linearly_with_messages(self):
+        assert internet_scale_estimate(80.0) == pytest.approx(
+            2 * internet_scale_estimate(40.0)
+        )
+
+    def test_custom_model(self):
+        model = TransferModel(rate_bytes_per_s=RATE_T3 * 10)
+        assert internet_scale_estimate(40.0, model=model) == pytest.approx(
+            internet_scale_estimate(40.0) / 10
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            internet_scale_estimate(0.0)
+        with pytest.raises(ValueError):
+            internet_scale_estimate(1.0, num_documents=0)

@@ -1,0 +1,65 @@
+"""Tests of the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_pagerank_defaults(self):
+        args = build_parser().parse_args(["pagerank"])
+        assert args.docs == 10_000
+        assert args.peers == 500
+        assert args.epsilon == 1e-4
+
+    def test_table_number_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "9"])
+
+
+class TestCommands:
+    def test_pagerank_runs(self, capsys):
+        code = main(["pagerank", "--docs", "500", "--peers", "10", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "update messages" in out
+
+    def test_pagerank_with_churn(self, capsys):
+        code = main([
+            "pagerank", "--docs", "400", "--peers", "8",
+            "--availability", "0.5", "--epsilon", "1e-2", "--seed", "1",
+        ])
+        assert code == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_figure2(self, capsys):
+        code = main(["figure2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0.333" in out
+        assert "path length=2" in out
+
+    def test_table1_small(self, capsys):
+        code = main(["table", "1", "--sizes", "300", "--peers", "10", "--seed", "0"])
+        assert code == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table4_small(self, capsys):
+        code = main([
+            "table", "4", "--sizes", "300", "--samples", "10", "--seed", "0",
+        ])
+        assert code == 0
+        assert "Table 4a" in capsys.readouterr().out
+
+    def test_table5_small(self, capsys):
+        code = main([
+            "table", "5", "--sizes", "300", "--peers", "10",
+            "--samples", "10", "--seed", "0",
+        ])
+        assert code == 0
+        assert "Table 5" in capsys.readouterr().out

@@ -1,0 +1,22 @@
+"""Run the doctest examples embedded in the public docstrings."""
+
+import doctest
+
+import pytest
+
+import repro._util.rng
+import repro._util.timers
+import repro.core.distributed
+
+MODULES = [
+    repro._util.rng,
+    repro._util.timers,
+    repro.core.distributed,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest failures in {module.__name__}"
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

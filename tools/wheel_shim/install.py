@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Install the offline ``wheel`` shim into the active site-packages.
+
+Why: pip's PEP 660 editable installs (``pip install -e .``) require the
+``wheel`` package, which offline environments may lack.  This script
+copies the minimal shim (``wheel.wheelfile.WheelFile`` + a pure-Python
+``bdist_wheel`` command) into site-packages and writes the dist-info
+entry point setuptools needs to *find* the command.
+
+Safety: refuses to touch anything if a real ``wheel`` distribution is
+already importable.  Remove the shim later by deleting
+``site-packages/wheel`` and ``site-packages/wheel-*.dist-info``.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import site
+import sys
+
+SHIM_VERSION = "0.0.0+repro.shim"
+
+
+def main() -> int:
+    try:
+        import wheel  # noqa: F401
+
+        if "repro.shim" not in getattr(wheel, "__version__", ""):
+            print("a real `wheel` package is already installed; nothing to do")
+            return 0
+        print("shim already installed; refreshing")
+    except ImportError:
+        pass
+
+    target_root = site.getsitepackages()[0]
+    src = os.path.join(os.path.dirname(os.path.abspath(__file__)), "wheel")
+    dst = os.path.join(target_root, "wheel")
+    if os.path.exists(dst):
+        shutil.rmtree(dst)
+    shutil.copytree(src, dst)
+
+    dist_info = os.path.join(target_root, f"wheel-{SHIM_VERSION}.dist-info")
+    os.makedirs(dist_info, exist_ok=True)
+    with open(os.path.join(dist_info, "METADATA"), "w") as fh:
+        fh.write(
+            "Metadata-Version: 2.1\n"
+            "Name: wheel\n"
+            f"Version: {SHIM_VERSION}\n"
+            "Summary: offline shim providing bdist_wheel + WheelFile\n"
+        )
+    with open(os.path.join(dist_info, "entry_points.txt"), "w") as fh:
+        fh.write(
+            "[distutils.commands]\n"
+            "bdist_wheel = wheel.bdist_wheel:bdist_wheel\n"
+        )
+    with open(os.path.join(dist_info, "INSTALLER"), "w") as fh:
+        fh.write("repro-wheel-shim\n")
+    with open(os.path.join(dist_info, "RECORD"), "w") as fh:
+        fh.write("")
+
+    print(f"installed wheel shim {SHIM_VERSION} into {target_root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

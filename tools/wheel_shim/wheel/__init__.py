@@ -1,0 +1,13 @@
+"""Minimal stand-in for the PyPA ``wheel`` package (offline shim).
+
+The offline environments this reproduction targets ship setuptools but
+not ``wheel``, and pip's PEP 660 editable path needs exactly two pieces
+of it: the ``bdist_wheel`` command class (for tags and the WHEEL
+metadata file) and ``wheel.wheelfile.WheelFile`` (a RECORD-writing zip
+container).  This shim implements just those, enough for
+``pip install -e .`` of pure-Python projects.  Install it with
+``python tools/wheel_shim/install.py``; it refuses to overwrite a real
+``wheel`` installation.
+"""
+
+__version__ = "0.0.0+repro.shim"

@@ -1,0 +1,134 @@
+"""Pure-Python ``bdist_wheel`` command, sufficient for PEP 660 editable
+builds (setuptools only needs tags and the WHEEL metadata file from it;
+it never asks this command to actually build a full wheel here).
+
+A full build via ``python setup.py bdist_wheel`` is also implemented —
+install the real tree under a temp root, zip it with
+:class:`wheel.wheelfile.WheelFile` — so non-editable ``pip install .``
+works too.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import sys
+import tempfile
+
+from setuptools import Command
+
+from .wheelfile import WheelFile
+
+
+def _impl_tag() -> str:
+    return f"py{sys.version_info[0]}"
+
+
+class bdist_wheel(Command):
+    description = "create a wheel distribution (offline shim)"
+
+    user_options = [
+        ("bdist-dir=", "b", "temporary build directory"),
+        ("dist-dir=", "d", "directory to put final built distributions in"),
+        ("universal", None, "make a py2.py3 universal wheel"),
+        ("plat-name=", "p", "platform tag (pure-Python default: any)"),
+        ("py-limited-api=", None, "abi3 tag (unsupported; ignored)"),
+    ]
+    boolean_options = ["universal"]
+
+    def initialize_options(self):
+        self.bdist_dir = None
+        self.dist_dir = None
+        self.universal = 0
+        self.plat_name = None
+        self.py_limited_api = None
+
+    def finalize_options(self):
+        if self.dist_dir is None:
+            self.dist_dir = "dist"
+
+    # ------------------------------------------------------------------
+    def get_tag(self):
+        """(python, abi, platform) — pure-Python wheels only."""
+        if self.distribution.has_ext_modules():
+            raise RuntimeError(
+                "the offline wheel shim only supports pure-Python projects"
+            )
+        return (_impl_tag(), "none", self.plat_name or "any")
+
+    @property
+    def wheel_dist_name(self):
+        dist = self.distribution
+        name = (dist.get_name() or "UNKNOWN").replace("-", "_")
+        return f"{name}-{dist.get_version()}"
+
+    def write_wheelfile(self, wheelfile_base, generator="wheel-shim"):
+        tag = "-".join(self.get_tag())
+        content = (
+            "Wheel-Version: 1.0\n"
+            f"Generator: {generator}\n"
+            "Root-Is-Purelib: true\n"
+            f"Tag: {tag}\n"
+        )
+        path = os.path.join(str(wheelfile_base), "WHEEL")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(content)
+
+    # ------------------------------------------------------------------
+    def run(self):
+        dist = self.distribution
+        tag = "-".join(self.get_tag())
+        archive = f"{self.wheel_dist_name}-{tag}.whl"
+        os.makedirs(self.dist_dir, exist_ok=True)
+        wheel_path = os.path.join(self.dist_dir, archive)
+
+        with tempfile.TemporaryDirectory() as root:
+            install = self.reinitialize_command("install", reinit_subcommands=True)
+            install.root = root
+            install.compile = False
+            install.skip_build = False
+            install.warn_dir = False
+            self.run_command("install")
+
+            # Find the site-packages-like dir under root.
+            purelib = None
+            for dirpath, dirnames, filenames in os.walk(root):
+                if os.path.basename(dirpath) in ("site-packages", "dist-packages"):
+                    purelib = dirpath
+                    break
+            if purelib is None:
+                purelib = root
+
+            # dist-info from egg-info.
+            dist_info = os.path.join(
+                purelib, f"{self.wheel_dist_name}.dist-info"
+            )
+            os.makedirs(dist_info, exist_ok=True)
+            egg_info_cmd = self.get_finalized_command("egg_info")
+            egg_dir = egg_info_cmd.egg_info
+            if egg_dir and os.path.exists(os.path.join(egg_dir, "PKG-INFO")):
+                shutil.copy(
+                    os.path.join(egg_dir, "PKG-INFO"),
+                    os.path.join(dist_info, "METADATA"),
+                )
+            else:  # pragma: no cover - egg_info always ran by install
+                with open(os.path.join(dist_info, "METADATA"), "w") as fh:
+                    fh.write(
+                        "Metadata-Version: 2.1\n"
+                        f"Name: {dist.get_name()}\n"
+                        f"Version: {dist.get_version()}\n"
+                    )
+            self.write_wheelfile(dist_info)
+            # Drop any stray egg-info dirs from the payload.
+            for dirpath, dirnames, filenames in os.walk(purelib):
+                for d in list(dirnames):
+                    if d.endswith(".egg-info"):
+                        shutil.rmtree(os.path.join(dirpath, d))
+                        dirnames.remove(d)
+
+            with WheelFile(wheel_path, "w") as wf:
+                wf.write_files(purelib)
+
+        # register like the real command so upload tooling sees it
+        getattr(dist, "dist_files", []).append(("bdist_wheel", "any", wheel_path))
+        print(f"wrote {wheel_path}")

@@ -1,0 +1,85 @@
+"""RECORD-writing zip container, API-compatible with wheel's WheelFile
+for the operations setuptools' ``editable_wheel`` performs."""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import re
+import zipfile
+
+_WHEEL_NAME = re.compile(
+    r"^(?P<name>[^-]+)-(?P<version>[^-]+)(-(?P<build>\d[^-]*))?"
+    r"-(?P<pytag>[^-]+)-(?P<abitag>[^-]+)-(?P<plattag>[^-]+)\.whl$"
+)
+
+
+def _urlsafe_b64_nopad(digest: bytes) -> str:
+    return base64.urlsafe_b64encode(digest).rstrip(b"=").decode("ascii")
+
+
+class WheelFile(zipfile.ZipFile):
+    """Zip archive that appends a PEP 376-style RECORD on close."""
+
+    def __init__(self, file, mode="r", compression=zipfile.ZIP_DEFLATED):
+        basename = os.path.basename(str(file))
+        match = _WHEEL_NAME.match(basename)
+        if match is None:
+            raise ValueError(f"bad wheel filename: {basename!r}")
+        self.parsed_filename = match
+        name, version = match.group("name"), match.group("version")
+        self.dist_info_path = f"{name}-{version}.dist-info"
+        self.record_path = f"{self.dist_info_path}/RECORD"
+        self._records: list[tuple[str, str, int]] = []
+        super().__init__(file, mode=mode, compression=compression)
+
+    # -- recording wrappers -------------------------------------------
+    def _record(self, arcname: str, data: bytes) -> None:
+        if arcname == self.record_path:
+            return
+        digest = hashlib.sha256(data).digest()
+        self._records.append(
+            (arcname, f"sha256={_urlsafe_b64_nopad(digest)}", len(data))
+        )
+
+    def writestr(self, zinfo_or_arcname, data, *args, **kwargs):
+        if isinstance(data, str):
+            data = data.encode("utf-8")
+        arcname = (
+            zinfo_or_arcname.filename
+            if isinstance(zinfo_or_arcname, zipfile.ZipInfo)
+            else str(zinfo_or_arcname)
+        )
+        self._record(arcname, data)
+        super().writestr(zinfo_or_arcname, data, *args, **kwargs)
+
+    def write(self, filename, arcname=None, *args, **kwargs):
+        arcname = str(arcname) if arcname is not None else os.path.basename(str(filename))
+        with open(filename, "rb") as fh:
+            self._record(arcname, fh.read())
+        super().write(filename, arcname, *args, **kwargs)
+
+    def write_files(self, base_dir) -> None:
+        """Add every file under ``base_dir`` (arcnames relative to it),
+        deterministically ordered — what editable_wheel calls to pack
+        the unpacked dist-info tree."""
+        base_dir = str(base_dir)
+        entries = []
+        for root, dirs, files in os.walk(base_dir):
+            dirs.sort()
+            for fname in sorted(files):
+                path = os.path.join(root, fname)
+                arcname = os.path.relpath(path, base_dir).replace(os.sep, "/")
+                entries.append((path, arcname))
+        for path, arcname in entries:
+            if arcname != self.record_path:
+                self.write(path, arcname)
+
+    def close(self) -> None:
+        if self.mode == "w" and not getattr(self, "_record_written", False):
+            lines = [f"{name},{digest},{size}" for name, digest, size in self._records]
+            lines.append(f"{self.record_path},,")
+            self._record_written = True
+            super().writestr(self.record_path, "\n".join(lines) + "\n")
+        super().close()
