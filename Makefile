@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples clean
+.PHONY: install test bench bench-full examples obs-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -19,6 +19,12 @@ bench-full:
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+# Tiny fully-instrumented simulation + metrics report (docs/OBSERVABILITY.md).
+# The same invocation runs in the test suite (tests/obs/test_obs_demo.py)
+# so the documented example cannot rot.
+obs-demo:
+	$(PYTHON) -m repro obs report --docs 800 --sim-docs 200 --peers 30 --sim-peers 10
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache \

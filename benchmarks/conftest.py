@@ -21,6 +21,8 @@ from typing import List, Tuple
 
 import pytest
 
+from repro import obs
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: (title, rendered text) pairs accumulated across the session.
@@ -46,15 +48,34 @@ def bench_sizes() -> Tuple[int, ...]:
     return BENCH_SIZES
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _bench_metrics_registry():
+    """Collect observability metrics for the whole benchmark session.
+
+    Each recorded table's results file gets a sibling
+    ``<name>.metrics.json`` snapshot (cumulative up to that table) so a
+    benchmark run leaves the measured instrumentation — messages,
+    passes, hops, bytes — on disk next to the rendered numbers.
+    """
+    with obs.use_registry() as reg:
+        yield reg
+
+
 @pytest.fixture()
 def record_table():
-    """Record a rendered table for the terminal summary and results dir."""
+    """Record a rendered table for the terminal summary and results
+    dir, attaching the current metrics snapshot alongside."""
 
     def _record(name: str, text: str) -> None:
         _RECORDED.append((name, text))
         RESULTS_DIR.mkdir(exist_ok=True)
         safe = name.lower().replace(" ", "_").replace("/", "-")
         (RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+        reg = obs.get_registry()
+        if reg.enabled and len(reg):
+            (RESULTS_DIR / f"{safe}.metrics.json").write_text(
+                obs.snapshot_to_json(reg.snapshot()) + "\n"
+            )
 
     return _record
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's main entry points without writing
+Six commands cover the library's main entry points without writing
 any Python:
 
 ``pagerank``
@@ -14,6 +14,12 @@ any Python:
     Execute the paper's Figure 2 worked example.
 ``search``
     Run the Table 6 search-traffic experiment at custom scale.
+``obs report``
+    Run a small fully instrumented simulation (both engines, with
+    churn and routed delivery) and dump the metrics snapshot as a
+    table or JSON — see docs/OBSERVABILITY.md for the metric
+    catalogue.  ``--trace`` additionally captures a JSON-lines event
+    trace.
 
 All commands accept ``--seed`` and print plain-text tables; exit code
 0 on success.
@@ -70,6 +76,27 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--peers", type=int, default=50)
     s.add_argument("--queries", type=int, default=20, help="queries per arity")
     s.add_argument("--seed", type=int, default=0)
+
+    o = sub.add_parser("obs", help="observability tooling (metrics + traces)")
+    osub = o.add_subparsers(dest="obs_command", required=True)
+    orep = osub.add_parser(
+        "report",
+        help="run a small instrumented simulation and print the metrics snapshot",
+    )
+    orep.add_argument("--docs", type=int, default=2_000,
+                      help="documents for the vectorized-engine run")
+    orep.add_argument("--sim-docs", type=int, default=300,
+                      help="documents for the protocol-level simulator run")
+    orep.add_argument("--peers", type=int, default=50)
+    orep.add_argument("--sim-peers", type=int, default=16)
+    orep.add_argument("--epsilon", type=float, default=1e-3)
+    orep.add_argument("--availability", type=float, default=0.75,
+                      help="fraction of peers present per pass (1.0 = no churn)")
+    orep.add_argument("--seed", type=int, default=0)
+    orep.add_argument("--json", action="store_true",
+                      help="emit the snapshot as JSON instead of a table")
+    orep.add_argument("--trace", type=str, default=None,
+                      help="also write a JSON-lines event trace to this file")
     return parser
 
 
@@ -204,6 +231,90 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    from contextlib import ExitStack
+
+    from repro import obs
+    from repro.core import ChaoticPagerank
+    from repro.graphs import broder_graph
+    from repro.p2p import FixedFractionChurn, P2PNetwork
+    from repro.p2p.routing import RoutedDelivery
+    from repro.simulation import (
+        RATE_32KBPS,
+        P2PPagerankSimulation,
+        TransferModel,
+        pass_time_parallel,
+        total_time_serialized,
+    )
+
+    with ExitStack() as stack:
+        reg = stack.enter_context(obs.use_registry())
+        sink = obs.get_trace_sink()
+        if args.trace:
+            sink = stack.enter_context(obs.TraceSink(args.trace))
+            stack.enter_context(obs.use_trace_sink(sink))
+
+        # Vectorized engine (core.* metrics, churn model metrics).
+        graph = broder_graph(args.docs, seed=args.seed)
+        network = P2PNetwork(args.peers, build_ring=False)
+        placement = network.place_documents(args.docs, seed=args.seed + 1)
+        network.cross_peer_edge_count(graph)
+        engine = ChaoticPagerank(
+            graph, placement.assignment, num_peers=args.peers, epsilon=args.epsilon
+        )
+        churn = (
+            None
+            if args.availability >= 1.0
+            else FixedFractionChurn(args.peers, args.availability, seed=args.seed + 2)
+        )
+        report = engine.run(availability=churn, keep_history=False)
+
+        # Protocol-level simulator on a smaller graph (sim.* metrics,
+        # chord routing metrics via the routed delivery policy).
+        sim_graph = broder_graph(args.sim_docs, seed=args.seed + 3)
+        sim_net = P2PNetwork(args.sim_peers)
+        sim_net.place_documents(args.sim_docs, seed=args.seed + 4)
+        sim = P2PPagerankSimulation(
+            sim_graph, sim_net, epsilon=args.epsilon,
+            delivery_policy=RoutedDelivery(sim_net.ring),
+        )
+        sim_churn = (
+            None
+            if args.availability >= 1.0
+            else FixedFractionChurn(
+                args.sim_peers, args.availability, seed=args.seed + 5
+            )
+        )
+        sim.run(availability=sim_churn, max_passes=2_000)
+
+        # Eq. 4 modeled execution time for the vectorized run (both the
+        # serialised Table 3 reading and the peer-parallel per-pass one).
+        model = TransferModel(rate_bytes_per_s=RATE_32KBPS)
+        total_time_serialized(
+            report.total_messages, model, passes=report.passes
+        )
+        pass_time_parallel(network.peer_link_matrix(graph), model)
+
+        # One DHT membership change, so ring-maintenance metrics appear
+        # in the report too (join + leave restores the original ring).
+        sim_net.ring.join(args.sim_peers)
+        sim_net.ring.leave(args.sim_peers)
+        snapshot = reg.snapshot()
+
+    if args.json:
+        print(obs.snapshot_to_json(snapshot))
+    else:
+        print(obs.render_snapshot(snapshot, title="repro obs report"))
+        layers = sorted({obs.layer_of(name) for name in snapshot})
+        print(
+            f"\n{len(snapshot)} metrics across layers: {', '.join(layers)} "
+            f"(catalogue: docs/OBSERVABILITY.md)"
+        )
+        if args.trace:
+            print(f"trace written to {args.trace}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -213,6 +324,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure2": _cmd_figure2,
         "report": _cmd_report,
         "search": _cmd_search,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro._util import check_positive, check_threshold
 from repro.core.convergence import ConvergenceTracker, PassStats, RunReport
+from repro.obs import get_registry, get_trace_sink
 from repro.core.kernels import EdgeWorkspace, relative_change
 from repro.core.pagerank import DEFAULT_DAMPING
 from repro.graphs.linkgraph import LinkGraph
@@ -50,6 +51,67 @@ __all__ = [
     "distributed_pagerank",
     "scheduled_pagerank",
 ]
+
+
+class _CoreInstruments:
+    """Registry handles for the engine's per-pass emissions.
+
+    Fetched once per run; under the default (disabled) registry every
+    handle is a shared no-op singleton, so the per-pass cost of the
+    instrumentation is a handful of empty method calls — it never
+    touches the numerical state.  Names are documented in
+    docs/OBSERVABILITY.md.
+    """
+
+    __slots__ = (
+        "passes",
+        "updates",
+        "messages",
+        "deferred",
+        "resent",
+        "residual",
+        "active",
+        "live_peers",
+        "pass_timer",
+    )
+
+    def __init__(self, reg) -> None:
+        self.passes = reg.counter(
+            "core.passes", unit="passes",
+            description="engine passes executed (Table 1 x-axis)",
+        )
+        self.updates = reg.counter(
+            "core.updates_applied", unit="documents",
+            description="document recomputes that crossed epsilon and published",
+        )
+        self.messages = reg.counter(
+            "core.messages_sent", unit="messages",
+            description="epsilon-gated cross-peer update messages (Table 3)",
+        )
+        self.deferred = reg.counter(
+            "core.messages_deferred", unit="messages",
+            description="updates stored for absent receivers (section 3.1)",
+        )
+        self.resent = reg.counter(
+            "core.messages_resent", unit="messages",
+            description="store-and-resend deliveries to returned peers",
+        )
+        self.residual = reg.gauge(
+            "core.residual", unit="rel. change",
+            description="max per-document relative change of the latest pass",
+        )
+        self.active = reg.gauge(
+            "core.active_documents", unit="documents",
+            description="documents above epsilon in the latest pass",
+        )
+        self.live_peers = reg.gauge(
+            "core.live_peers", unit="peers",
+            description="peers present during the latest pass",
+        )
+        self.pass_timer = reg.timer(
+            "core.pass_seconds",
+            description="wall-clock seconds per vectorized engine pass",
+        )
 
 
 @runtime_checkable
@@ -215,33 +277,52 @@ class ChaoticPagerank:
         new = np.empty_like(rank)
         err = np.empty_like(rank)
 
+        obs = _CoreInstruments(get_registry())
+        sink = get_trace_sink()
         converged = False
-        for t in range(max_passes):
-            ws.pull(last_sent, self.damping, out=new)
-            relative_change(rank, new, out=err)
-            active = err > self.epsilon
-            n_active = int(active.sum())
-            messages = int(self._remote_outdeg[active].sum())
-            # Senders propagate their fresh value; quiet documents'
-            # last-sent value stays stale — the chaotic rule.
-            last_sent[active] = new[active]
-            rank, new = new, rank
-            if on_pass is not None:
-                on_pass(t, rank)
-            tracker.record(
-                PassStats(
-                    pass_index=t,
-                    max_rel_change=float(err.max()),
-                    active_documents=n_active,
-                    messages=messages,
-                    deferred_messages=0,
-                    live_peers=self.num_peers,
-                    computed_documents=n,
+        with sink.span(
+            "core.run", mode="static", documents=n,
+            peers=self.num_peers, epsilon=self.epsilon,
+        ):
+            for t in range(max_passes):
+                with obs.pass_timer:
+                    ws.pull(last_sent, self.damping, out=new)
+                    relative_change(rank, new, out=err)
+                    active = err > self.epsilon
+                    n_active = int(active.sum())
+                    messages = int(self._remote_outdeg[active].sum())
+                    # Senders propagate their fresh value; quiet documents'
+                    # last-sent value stays stale — the chaotic rule.
+                    last_sent[active] = new[active]
+                    rank, new = new, rank
+                max_change = float(err.max())
+                if on_pass is not None:
+                    on_pass(t, rank)
+                obs.passes.inc()
+                obs.updates.inc(n_active)
+                obs.messages.inc(messages)
+                obs.residual.set(max_change)
+                obs.active.set(n_active)
+                obs.live_peers.set(self.num_peers)
+                if sink.enabled:
+                    sink.event(
+                        "core.pass", pass_index=t, residual=max_change,
+                        active_documents=n_active, messages=messages,
+                    )
+                tracker.record(
+                    PassStats(
+                        pass_index=t,
+                        max_rel_change=max_change,
+                        active_documents=n_active,
+                        messages=messages,
+                        deferred_messages=0,
+                        live_peers=self.num_peers,
+                        computed_documents=n,
+                    )
                 )
-            )
-            if n_active == 0:
-                converged = True
-                break
+                if n_active == 0:
+                    converged = True
+                    break
         return tracker.finish(rank.copy(), converged)
 
     # ------------------------------------------------------------------
@@ -277,67 +358,91 @@ class ChaoticPagerank:
         new = np.empty_like(rank)
         err = np.empty_like(rank)
 
+        obs = _CoreInstruments(get_registry())
+        sink = get_trace_sink()
         converged = False
-        for t in range(max_passes):
-            live_peer = np.asarray(availability.sample(t), dtype=bool)
-            if live_peer.shape != (self.num_peers,):
-                raise ValueError(
-                    f"availability.sample must return shape ({self.num_peers},), "
-                    f"got {live_peer.shape}"
+        with sink.span(
+            "core.run", mode="churn", documents=n,
+            peers=self.num_peers, epsilon=self.epsilon,
+        ):
+            for t in range(max_passes):
+                live_peer = np.asarray(availability.sample(t), dtype=bool)
+                if live_peer.shape != (self.num_peers,):
+                    raise ValueError(
+                        f"availability.sample must return shape ({self.num_peers},), "
+                        f"got {live_peer.shape}"
+                    )
+                with obs.pass_timer:
+                    live_doc = live_peer[self.assignment]
+                    src_live = live_doc[src]
+                    dst_live = live_doc[dst]
+
+                    # 1) Store-and-resend: stored updates whose sender and
+                    #    receiver are both now present get delivered.
+                    resend = pending & src_live & dst_live
+                    n_resent = int(resend.sum())
+                    if n_resent:
+                        delivered[resend] = pending_val[resend]
+                        pending[resend] = False
+                        dirty[dst[resend]] = True
+
+                    # 2) Live documents recompute from their delivered inputs.
+                    ws.pull_edges(delivered, self.damping, out=new)
+                    np.copyto(new, rank, where=~live_doc)
+                    relative_change(rank, new, out=err)
+                    err[~live_doc] = 0.0
+                    dirty[live_doc] = False
+
+                    active = live_doc & (err > self.epsilon)
+                    send_edge = active[src]
+                    deliver_edge = send_edge & dst_live
+                    defer_edge = send_edge & ~dst_live
+
+                    # 3) Deliver to present receivers; store for absent ones.
+                    if deliver_edge.any():
+                        delivered[deliver_edge] = new[src[deliver_edge]]
+                        dirty[dst[deliver_edge]] = True
+                    if defer_edge.any():
+                        pending_val[defer_edge] = new[src[defer_edge]]
+                        pending[defer_edge] = True
+
+                    messages = int((deliver_edge & cross).sum()) + n_resent
+                    deferred = int(defer_edge.sum())
+                    np.copyto(rank, new)
+                if on_pass is not None:
+                    on_pass(t, rank)
+
+                max_change = float(err.max())
+                n_active = int(active.sum())
+                n_live = int(live_peer.sum())
+                obs.passes.inc()
+                obs.updates.inc(n_active)
+                obs.messages.inc(messages)
+                obs.deferred.inc(deferred)
+                obs.resent.inc(n_resent)
+                obs.residual.set(max_change)
+                obs.active.set(n_active)
+                obs.live_peers.set(n_live)
+                if sink.enabled:
+                    sink.event(
+                        "core.pass", pass_index=t, residual=max_change,
+                        active_documents=n_active, messages=messages,
+                        deferred=deferred, resent=n_resent, live_peers=n_live,
+                    )
+                tracker.record(
+                    PassStats(
+                        pass_index=t,
+                        max_rel_change=max_change,
+                        active_documents=n_active,
+                        messages=messages,
+                        deferred_messages=deferred,
+                        live_peers=n_live,
+                        computed_documents=int(live_doc.sum()),
+                    )
                 )
-            live_doc = live_peer[self.assignment]
-            src_live = live_doc[src]
-            dst_live = live_doc[dst]
-
-            # 1) Store-and-resend: stored updates whose sender and
-            #    receiver are both now present get delivered.
-            resend = pending & src_live & dst_live
-            n_resent = int(resend.sum())
-            if n_resent:
-                delivered[resend] = pending_val[resend]
-                pending[resend] = False
-                dirty[dst[resend]] = True
-
-            # 2) Live documents recompute from their delivered inputs.
-            ws.pull_edges(delivered, self.damping, out=new)
-            np.copyto(new, rank, where=~live_doc)
-            relative_change(rank, new, out=err)
-            err[~live_doc] = 0.0
-            dirty[live_doc] = False
-
-            active = live_doc & (err > self.epsilon)
-            send_edge = active[src]
-            deliver_edge = send_edge & dst_live
-            defer_edge = send_edge & ~dst_live
-
-            # 3) Deliver to present receivers; store for absent ones.
-            if deliver_edge.any():
-                delivered[deliver_edge] = new[src[deliver_edge]]
-                dirty[dst[deliver_edge]] = True
-            if defer_edge.any():
-                pending_val[defer_edge] = new[src[defer_edge]]
-                pending[defer_edge] = True
-
-            messages = int((deliver_edge & cross).sum()) + n_resent
-            deferred = int(defer_edge.sum())
-            np.copyto(rank, new)
-            if on_pass is not None:
-                on_pass(t, rank)
-
-            tracker.record(
-                PassStats(
-                    pass_index=t,
-                    max_rel_change=float(err.max()),
-                    active_documents=int(active.sum()),
-                    messages=messages,
-                    deferred_messages=deferred,
-                    live_peers=int(live_peer.sum()),
-                    computed_documents=int(live_doc.sum()),
-                )
-            )
-            if not active.any() and not pending.any() and not dirty.any():
-                converged = True
-                break
+                if not active.any() and not pending.any() and not dirty.any():
+                    converged = True
+                    break
         return tracker.finish(rank.copy(), converged)
 
     # ------------------------------------------------------------------

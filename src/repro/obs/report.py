@@ -1,0 +1,88 @@
+"""Snapshot rendering: metrics as an aligned table or JSON.
+
+Deliberately dependency-free (no :mod:`repro.analysis` import) so the
+observability layer stays below every other subsystem in the import
+graph — engines import ``repro.obs``; nothing in ``repro.obs`` imports
+an engine.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+__all__ = ["render_snapshot", "snapshot_to_json", "layer_of"]
+
+
+def layer_of(name: str) -> str:
+    """The emitting layer of a metric/event name (its first dotted
+    segment): ``"core.passes"`` -> ``"core"``."""
+    return name.split(".", 1)[0]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _summary(snap: Dict[str, object]) -> str:
+    kind = snap.get("type")
+    if kind in ("counter", "gauge"):
+        return _fmt(snap["value"])
+    if kind == "histogram":
+        return (
+            f"n={_fmt(snap['count'])} mean={_fmt(snap['mean'])} "
+            f"p50={_fmt(snap['p50'])} p90={_fmt(snap['p90'])} "
+            f"p99={_fmt(snap['p99'])} max={_fmt(snap['max'])}"
+        )
+    if kind == "timer":
+        return (
+            f"n={_fmt(snap['count'])} total={_fmt(snap['total'])}s "
+            f"mean={_fmt(snap['mean'])}s"
+        )
+    return json.dumps(snap)  # unknown instrument: raw
+
+
+def render_snapshot(
+    snapshot: Dict[str, Dict[str, object]],
+    *,
+    title: str = "metrics snapshot",
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` as an aligned text
+    table, one metric per row, grouped by layer prefix."""
+    headers = ("metric", "type", "unit", "value")
+    rows: List[Tuple[str, str, str, str]] = [
+        (name, str(snap["type"]), str(snap["unit"]), _summary(snap))
+        for name, snap in sorted(snapshot.items())
+    ]
+    if not rows:
+        rows = [("(no metrics recorded)", "-", "-", "-")]
+    widths = [
+        max(len(headers[i]), max(len(r[i]) for r in rows)) for i in range(len(headers))
+    ]
+    sep = "  "
+    lines = [title, "=" * len(title)]
+    lines.append(sep.join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append(sep.join("-" * w for w in widths))
+    previous_layer = None
+    for row in rows:
+        layer = layer_of(row[0])
+        if previous_layer is not None and layer != previous_layer:
+            lines.append("")
+        previous_layer = layer
+        lines.append(sep.join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def snapshot_to_json(snapshot: Dict[str, Dict[str, object]]) -> str:
+    """Serialise a snapshot as stable (sorted-key, indented) JSON."""
+    return json.dumps(snapshot, indent=2, sort_keys=True)

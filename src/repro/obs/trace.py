@@ -1,0 +1,196 @@
+"""Structured trace-event sink: JSON-lines events and named spans.
+
+Metrics (``registry.py``) answer "how much, in total"; traces answer
+"what happened, in order".  A :class:`TraceSink` appends one JSON
+object per line to a file (or file-like object), which is the format
+every log-processing tool ingests directly::
+
+    {"ts": 1754500000.123, "kind": "span_begin", "name": "core.run", "span": 1, "fields": {...}}
+    {"ts": 1754500000.125, "kind": "event", "name": "core.pass", "span": 1, "fields": {"pass": 0, ...}}
+    {"ts": 1754500000.300, "kind": "span_end", "name": "core.run", "span": 1, "fields": {"duration_s": 0.17}}
+
+Schema (every line):
+
+``ts``
+    Unix wall-clock seconds (float) at emission.
+``kind``
+    ``"event"`` | ``"span_begin"`` | ``"span_end"``.
+``name``
+    Dotted event name; the first segment is the emitting layer
+    (``core.``, ``p2p.``, ``sim.``), matching the metric namespaces.
+``span``
+    Integer id tying a ``span_begin``/``span_end`` pair together, and
+    stamped on events emitted while that span is innermost; ``null``
+    outside any span.
+``fields``
+    Event payload: JSON scalars keyed by name.  ``span_end`` always
+    carries ``duration_s`` (monotonic-clock seconds).
+
+Like the metrics registry, the process-wide default sink is a no-op
+(:class:`NullTraceSink`); engines emit unconditionally through it at
+zero cost and real sinks are installed per run via
+:func:`use_trace_sink` or the CLI's ``repro obs report --trace``.
+Worked capture/read examples live in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import IO, Iterator, List, Optional, Union
+
+__all__ = [
+    "TraceSink",
+    "NullTraceSink",
+    "NULL_TRACE_SINK",
+    "get_trace_sink",
+    "set_trace_sink",
+    "use_trace_sink",
+]
+
+
+class TraceSink:
+    """Appends structured events to a JSON-lines stream.
+
+    Parameters
+    ----------
+    target:
+        A path to (over)write, or an open text file-like object (kept
+        open on :meth:`close` if caller-owned).
+    """
+
+    enabled = True
+
+    def __init__(self, target: Union[str, "IO[str]"]) -> None:
+        if hasattr(target, "write"):
+            self._file: IO[str] = target  # type: ignore[assignment]
+            self._owns_file = False
+            self.path: Optional[str] = getattr(target, "name", None)
+        else:
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+            self.path = str(target)
+        self._next_span = 1
+        self._span_stack: List[int] = []
+        self.events_written = 0
+
+    # ------------------------------------------------------------------
+    def event(self, name: str, **fields) -> None:
+        """Emit one point event (attributed to the innermost open span)."""
+        self._write("event", name, fields)
+
+    @contextmanager
+    def span(self, name: str, **fields) -> Iterator[int]:
+        """Named span: emits ``span_begin`` now and ``span_end`` (with
+        ``duration_s``) when the ``with`` body exits, even on error."""
+        span_id = self._next_span
+        self._next_span += 1
+        self._write("span_begin", name, fields, span_id=span_id)
+        self._span_stack.append(span_id)
+        started = time.perf_counter()
+        try:
+            yield span_id
+        finally:
+            self._span_stack.pop()
+            self._write(
+                "span_end",
+                name,
+                {"duration_s": time.perf_counter() - started},
+                span_id=span_id,
+            )
+
+    # ------------------------------------------------------------------
+    def _write(self, kind: str, name: str, fields, *, span_id: Optional[int] = None) -> None:
+        if span_id is None:
+            span_id = self._span_stack[-1] if self._span_stack else None
+        record = {
+            "ts": time.time(),
+            "kind": kind,
+            "name": name,
+            "span": span_id,
+            "fields": fields,
+        }
+        self._file.write(json.dumps(record) + "\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        self._file.flush()
+
+    def close(self) -> None:
+        """Flush and, if this sink opened the file, close it."""
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled spans."""
+
+    def __enter__(self) -> int:
+        return 0
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTraceSink:
+    """The default, disabled sink: every emission is a no-op."""
+
+    enabled = False
+    path = None
+    events_written = 0
+
+    def event(self, name: str, **fields) -> None:
+        pass
+
+    def span(self, name: str, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: The process-wide disabled sink (also the initial default).
+NULL_TRACE_SINK = NullTraceSink()
+
+_active: Union[TraceSink, NullTraceSink] = NULL_TRACE_SINK
+
+
+def get_trace_sink() -> Union[TraceSink, NullTraceSink]:
+    """The currently active trace sink (no-op unless one is installed)."""
+    return _active
+
+
+def set_trace_sink(sink: Union[TraceSink, NullTraceSink]) -> Union[TraceSink, NullTraceSink]:
+    """Install ``sink`` as the active one and return it."""
+    global _active
+    if not hasattr(sink, "event") or not hasattr(sink, "span"):
+        raise TypeError(f"expected a trace sink, got {type(sink).__name__}")
+    _active = sink
+    return sink
+
+
+@contextmanager
+def use_trace_sink(sink: Union[TraceSink, NullTraceSink]) -> Iterator[Union[TraceSink, NullTraceSink]]:
+    """Scoped activation: install ``sink`` for the ``with`` body and
+    restore the previous sink after (the sink is *not* closed — the
+    caller owns its lifetime)."""
+    previous = _active
+    set_trace_sink(sink)
+    try:
+        yield sink
+    finally:
+        set_trace_sink(previous)

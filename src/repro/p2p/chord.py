@@ -27,6 +27,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs import get_registry
 from repro.p2p.guid import ID_BITS, ID_SPACE, in_interval, peer_guid
 
 __all__ = ["ChordRing", "LookupResult"]
@@ -115,6 +116,10 @@ class ChordRing:
         self._peer_at[g] = int(peer_id)
         bisect.insort(self._ring, g)
         self._rebuild_fingers()
+        get_registry().counter(
+            "p2p.chord.joins", unit="peers",
+            description="peers that joined the ring",
+        ).inc()
 
     def leave(self, peer_id: int) -> None:
         """Remove a peer and refresh finger tables."""
@@ -126,6 +131,10 @@ class ChordRing:
         if not self._ring:
             raise ValueError("cannot remove the last peer from the ring")
         self._rebuild_fingers()
+        get_registry().counter(
+            "p2p.chord.leaves", unit="peers",
+            description="peers that left the ring",
+        ).inc()
 
     # ------------------------------------------------------------------
     # Lookup
@@ -143,6 +152,20 @@ class ChordRing:
         finger preceding the key until the key falls between the
         current peer and its immediate successor.
         """
+        result = self._route(key, start_peer)
+        reg = get_registry()
+        if reg.enabled:
+            reg.counter(
+                "p2p.chord.lookups", unit="lookups",
+                description="routed DHT lookups (find_successor calls)",
+            ).inc()
+            reg.histogram(
+                "p2p.chord.hops", unit="hops",
+                description="routing hops per lookup (O(log P) bound)",
+            ).observe(result.hops)
+        return result
+
+    def _route(self, key: int, start_peer: int) -> LookupResult:
         if start_peer not in self._guid_of:
             raise KeyError(f"start peer {start_peer} not in ring")
         key %= ID_SPACE

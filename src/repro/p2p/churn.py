@@ -15,6 +15,7 @@ import numpy as np
 
 from repro._util import as_generator, check_fraction, check_probability
 from repro._util.rng import SeedLike
+from repro.obs import get_registry
 
 __all__ = [
     "AlwaysOn",
@@ -24,6 +25,66 @@ __all__ = [
 ]
 
 
+class _ChurnObserver:
+    """Derives churn metrics from the stream of availability masks.
+
+    Every model routes its ``sample()`` result through
+    :meth:`observe`, which compares successive masks to count
+    departures and rejoins and to measure each peer's absence spell in
+    passes (the "rejoin latency" that store-and-resend state has to
+    survive).  Entirely skipped — one ``enabled`` check — under the
+    default disabled registry, so the engines' churn paths keep their
+    timings.
+    """
+
+    __slots__ = ("_last", "_absence")
+
+    def __init__(self) -> None:
+        self._last = None
+        self._absence = None
+
+    def observe(self, mask: np.ndarray) -> np.ndarray:
+        reg = get_registry()
+        if not reg.enabled:
+            return mask
+        reg.counter(
+            "p2p.churn.samples", unit="passes",
+            description="availability masks drawn by churn models",
+        ).inc()
+        reg.gauge(
+            "p2p.churn.live_peers", unit="peers",
+            description="peers present in the latest sampled pass",
+        ).set(int(mask.sum()))
+        if self._absence is None or self._absence.size != mask.size:
+            self._absence = np.zeros(mask.size, dtype=np.int64)
+            self._last = None
+        if self._last is not None:
+            departed = int((self._last & ~mask).sum())
+            rejoined = ~self._last & mask
+            if departed:
+                reg.counter(
+                    "p2p.churn.departures", unit="peers",
+                    description="peer up->down transitions across passes",
+                ).inc(departed)
+            n_rejoined = int(rejoined.sum())
+            if n_rejoined:
+                reg.counter(
+                    "p2p.churn.rejoins", unit="peers",
+                    description="peer down->up transitions across passes",
+                ).inc(n_rejoined)
+                spells = reg.histogram(
+                    "p2p.churn.absence_passes", unit="passes",
+                    description="absence spell length at rejoin "
+                    "(store-and-resend holding time)",
+                )
+                for spell in self._absence[rejoined]:
+                    spells.observe(int(spell))
+        self._absence[~mask] += 1
+        self._absence[mask] = 0
+        self._last = mask.copy()
+        return mask
+
+
 class AlwaysOn:
     """All peers present every pass (Table 1's 100 % column)."""
 
@@ -31,9 +92,10 @@ class AlwaysOn:
         if num_peers < 1:
             raise ValueError(f"num_peers must be >= 1, got {num_peers}")
         self._mask = np.ones(num_peers, dtype=bool)
+        self._observer = _ChurnObserver()
 
     def sample(self, pass_index: int) -> np.ndarray:
-        return self._mask
+        return self._observer.observe(self._mask)
 
 
 class FixedFractionChurn:
@@ -61,12 +123,13 @@ class FixedFractionChurn:
         self.fraction_present = float(fraction_present)
         self._rng = as_generator(seed)
         self._k = max(1, int(round(num_peers * fraction_present)))
+        self._observer = _ChurnObserver()
 
     def sample(self, pass_index: int) -> np.ndarray:
         mask = np.zeros(self.num_peers, dtype=bool)
         up = self._rng.choice(self.num_peers, size=self._k, replace=False)
         mask[up] = True
-        return mask
+        return self._observer.observe(mask)
 
 
 class IndependentChurn:
@@ -84,9 +147,10 @@ class IndependentChurn:
         self.num_peers = num_peers
         self.p_present = float(p_present)
         self._rng = as_generator(seed)
+        self._observer = _ChurnObserver()
 
     def sample(self, pass_index: int) -> np.ndarray:
-        return self._rng.random(self.num_peers) < self.p_present
+        return self._observer.observe(self._rng.random(self.num_peers) < self.p_present)
 
 
 class MarkovChurn:
@@ -122,6 +186,7 @@ class MarkovChurn:
         self.p_join = float(p_join)
         self._rng = as_generator(seed)
         self._state = np.full(num_peers, bool(start_up))
+        self._observer = _ChurnObserver()
 
     @property
     def stationary_availability(self) -> float:
@@ -133,4 +198,4 @@ class MarkovChurn:
         flip_down = self._state & (u < self.p_leave)
         flip_up = ~self._state & (u < self.p_join)
         self._state = (self._state & ~flip_down) | flip_up
-        return self._state.copy()
+        return self._observer.observe(self._state.copy())

@@ -28,6 +28,7 @@ from scipy.sparse import coo_matrix, csr_matrix
 
 from repro._util import as_generator
 from repro._util.rng import SeedLike
+from repro.obs import get_registry
 from repro.graphs.linkgraph import LinkGraph
 from repro.p2p.chord import ChordRing
 from repro.p2p.guid import document_guid
@@ -183,6 +184,16 @@ class P2PNetwork:
             self.placement = DocumentPlacement.by_guid(num_docs, self.ring)
         else:
             raise ValueError(f"unknown placement strategy {strategy!r}")
+        reg = get_registry()
+        if reg.enabled:
+            reg.gauge(
+                "p2p.placement.documents", unit="documents",
+                description="documents placed onto the peer population",
+            ).set(num_docs)
+            reg.gauge(
+                "p2p.placement.peers", unit="peers",
+                description="peer population size of the current placement",
+            ).set(self.num_peers)
         return self.placement
 
     def peer_link_matrix(self, graph: LinkGraph) -> csr_matrix:
@@ -215,4 +226,10 @@ class P2PNetwork:
         a = self.placement.assignment
         src_peer = np.repeat(a, graph.out_degrees())
         dst_peer = a[graph.indices]
-        return int((src_peer != dst_peer).sum())
+        count = int((src_peer != dst_peer).sum())
+        get_registry().gauge(
+            "p2p.placement.cross_peer_links", unit="links",
+            description="document links whose endpoints live on different "
+            "peers (the traffic driver)",
+        ).set(count)
+        return count

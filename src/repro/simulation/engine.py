@@ -25,6 +25,8 @@ from repro.core.convergence import ConvergenceTracker, PassStats, RunReport
 from repro.core.distributed import AvailabilityModel
 from repro.core.pagerank import DEFAULT_DAMPING
 from repro.graphs.linkgraph import LinkGraph
+from repro.obs import get_registry, get_trace_sink
+from repro.p2p.messages import MESSAGE_SIZE_BYTES
 from repro.p2p.network import P2PNetwork
 from repro.p2p.peer import Peer
 from repro.p2p.routing import DeliveryPolicy
@@ -61,6 +63,72 @@ class TrafficSummary:
     routing_hops: int = 0
     bytes_transferred: int = 0
     migrations: int = 0
+
+
+class _SimInstruments:
+    """Registry handles for the protocol simulator's per-pass emissions
+    (shared no-op singletons under the default disabled registry).
+    Names are documented in docs/OBSERVABILITY.md."""
+
+    __slots__ = (
+        "passes",
+        "delivered",
+        "resent",
+        "batches",
+        "bytes",
+        "hops",
+        "migrations",
+        "store_depth",
+        "residual",
+        "live_peers",
+        "pass_timer",
+    )
+
+    def __init__(self, reg) -> None:
+        self.passes = reg.counter(
+            "sim.passes", unit="passes",
+            description="protocol-simulator passes executed",
+        )
+        self.delivered = reg.counter(
+            "sim.messages_delivered", unit="messages",
+            description="cross-peer update messages delivered (Table 3)",
+        )
+        self.resent = reg.counter(
+            "sim.messages_resent", unit="messages",
+            description="deliveries that had been stored for absent peers",
+        )
+        self.batches = reg.counter(
+            "sim.network_batches", unit="batches",
+            description="(sender, receiver) batch transfers (section 4.6.1 unit)",
+        )
+        self.bytes = reg.counter(
+            "sim.bytes_transferred", unit="bytes",
+            description="wire bytes under the paper's 24-byte message model",
+        )
+        self.hops = reg.counter(
+            "sim.routing_hops", unit="hops",
+            description="hops charged by the delivery policy (section 3.2)",
+        )
+        self.migrations = reg.counter(
+            "sim.migrations", unit="documents",
+            description="documents moved by section 3.1 re-homing",
+        )
+        self.store_depth = reg.histogram(
+            "sim.store_depth", unit="messages",
+            description="stored (undeliverable) updates outstanding per pass",
+        )
+        self.residual = reg.gauge(
+            "sim.residual", unit="rel. change",
+            description="max per-document relative change of the latest pass",
+        )
+        self.live_peers = reg.gauge(
+            "sim.live_peers", unit="peers",
+            description="peers present during the latest pass",
+        )
+        self.pass_timer = reg.timer(
+            "sim.pass_seconds",
+            description="wall-clock seconds per protocol-simulator pass",
+        )
 
 
 class P2PPagerankSimulation:
@@ -161,74 +229,107 @@ class P2PPagerankSimulation:
         tracker = ConvergenceTracker(self.epsilon, keep_history=keep_history)
         num_peers = self.network.num_peers
 
+        reg = get_registry()
+        sink = get_trace_sink()
+        obs = _SimInstruments(reg)
         converged = False
-        for t in range(max_passes):
-            if availability is None:
-                live = np.ones(num_peers, dtype=bool)
-            else:
-                live = np.asarray(availability.sample(t), dtype=bool)
-                if live.shape != (num_peers,):
-                    raise ValueError(
-                        f"availability.sample must return shape ({num_peers},)"
+        with sink.span(
+            "sim.run", documents=self.graph.num_nodes, peers=num_peers,
+            epsilon=self.epsilon,
+        ):
+            for t in range(max_passes):
+                if availability is None:
+                    live = np.ones(num_peers, dtype=bool)
+                else:
+                    live = np.asarray(availability.sample(t), dtype=bool)
+                    if live.shape != (num_peers,):
+                        raise ValueError(
+                            f"availability.sample must return shape ({num_peers},)"
+                        )
+                batches_before = self.traffic.network_batches
+                hops_before = self.traffic.routing_hops
+                migrations_before = self.traffic.migrations
+
+                with obs.pass_timer:
+                    # (0) §3.1 re-homing of long-absent peers' documents
+                    if self.rehoming_after is not None:
+                        self._absence[live] = 0
+                        self._absence[~live] += 1
+                        self._rehome(live)
+
+                    # (1) store-and-resend deliveries
+                    resent = self._deliver_deferred(live)
+
+                    # (2) concurrent recompute on live peers
+                    active = 0
+                    max_change = 0.0
+                    computed = 0
+                    published_docs = []
+                    for peer in self.peers:
+                        if not live[peer.peer_id]:
+                            continue
+                        outcome = peer.compute_pass(
+                            self.damping, self.epsilon, self._peer_of
+                        )
+                        active += outcome.active_documents
+                        computed += len(peer.documents)
+                        if outcome.max_rel_change > max_change:
+                            max_change = outcome.max_rel_change
+                        self._dirty.difference_update(int(d) for d in peer.documents)
+                        published_docs.extend(outcome.published_docs)
+                    # Published values are instantly visible to co-located
+                    # consumers, who now owe a recompute (the vectorized engine
+                    # marks these via its per-edge dirty pass); remote targets
+                    # are marked at delivery below.
+                    for doc in published_docs:
+                        owner = int(self._peer_of[doc])
+                        for target in self.graph.out_links(doc):
+                            if int(self._peer_of[int(target)]) == owner:
+                                self._dirty.add(int(target))
+
+                    # (3) drain outboxes: deliver or defer
+                    delivered = self._deliver_outboxes(live)
+
+                messages = delivered + resent
+                self.traffic.update_messages += messages
+                self.traffic.resent_messages += resent
+                self.traffic.bytes_transferred = (
+                    self.traffic.update_messages * MESSAGE_SIZE_BYTES
+                )
+                deferred_now = sum(p.deferred_count for p in self.peers)
+                n_live = int(live.sum())
+
+                obs.passes.inc()
+                obs.delivered.inc(messages)
+                obs.resent.inc(resent)
+                obs.bytes.inc(messages * MESSAGE_SIZE_BYTES)
+                obs.batches.inc(self.traffic.network_batches - batches_before)
+                obs.hops.inc(self.traffic.routing_hops - hops_before)
+                obs.migrations.inc(self.traffic.migrations - migrations_before)
+                obs.store_depth.observe(deferred_now)
+                obs.residual.set(max_change)
+                obs.live_peers.set(n_live)
+                if sink.enabled:
+                    sink.event(
+                        "sim.pass", pass_index=t, residual=max_change,
+                        active_documents=active, messages=messages,
+                        resent=resent, deferred=deferred_now, live_peers=n_live,
                     )
 
-            # (0) §3.1 re-homing of long-absent peers' documents
-            if self.rehoming_after is not None:
-                self._absence[live] = 0
-                self._absence[~live] += 1
-                self._rehome(live)
-
-            # (1) store-and-resend deliveries
-            resent = self._deliver_deferred(live)
-
-            # (2) concurrent recompute on live peers
-            active = 0
-            max_change = 0.0
-            computed = 0
-            published_docs = []
-            for peer in self.peers:
-                if not live[peer.peer_id]:
-                    continue
-                outcome = peer.compute_pass(self.damping, self.epsilon, self._peer_of)
-                active += outcome.active_documents
-                computed += len(peer.documents)
-                if outcome.max_rel_change > max_change:
-                    max_change = outcome.max_rel_change
-                self._dirty.difference_update(int(d) for d in peer.documents)
-                published_docs.extend(outcome.published_docs)
-            # Published values are instantly visible to co-located
-            # consumers, who now owe a recompute (the vectorized engine
-            # marks these via its per-edge dirty pass); remote targets
-            # are marked at delivery below.
-            for doc in published_docs:
-                owner = int(self._peer_of[doc])
-                for target in self.graph.out_links(doc):
-                    if int(self._peer_of[int(target)]) == owner:
-                        self._dirty.add(int(target))
-
-            # (3) drain outboxes: deliver or defer
-            delivered = self._deliver_outboxes(live)
-
-            messages = delivered + resent
-            self.traffic.update_messages += messages
-            self.traffic.resent_messages += resent
-            self.traffic.bytes_transferred = self.traffic.update_messages * 24
-            deferred_now = sum(p.deferred_count for p in self.peers)
-
-            tracker.record(
-                PassStats(
-                    pass_index=t,
-                    max_rel_change=max_change,
-                    active_documents=active,
-                    messages=messages,
-                    deferred_messages=deferred_now,
-                    live_peers=int(live.sum()),
-                    computed_documents=computed,
+                tracker.record(
+                    PassStats(
+                        pass_index=t,
+                        max_rel_change=max_change,
+                        active_documents=active,
+                        messages=messages,
+                        deferred_messages=deferred_now,
+                        live_peers=n_live,
+                        computed_documents=computed,
+                    )
                 )
-            )
-            if active == 0 and deferred_now == 0 and not self._dirty:
-                converged = True
-                break
+                if active == 0 and deferred_now == 0 and not self._dirty:
+                    converged = True
+                    break
         return tracker.finish(self.ranks(), converged)
 
     # ------------------------------------------------------------------

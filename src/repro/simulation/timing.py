@@ -29,6 +29,7 @@ import numpy as np
 from scipy.sparse import spmatrix
 
 from repro._util import check_positive
+from repro.obs import get_registry
 from repro.p2p.messages import MESSAGE_SIZE_BYTES
 
 __all__ = [
@@ -91,7 +92,12 @@ def total_time_serialized(
     if passes < 0:
         raise ValueError(f"passes must be >= 0, got {passes}")
     comm = total_messages * model.message_size_bytes / model.rate_bytes_per_s
-    return comm + passes * model.compute_time_per_pass
+    seconds = comm + passes * model.compute_time_per_pass
+    get_registry().gauge(
+        "sim.modeled_transfer_seconds", unit="seconds",
+        description="latest Eq. 4 serialised-transfer estimate (Table 3)",
+    ).set(seconds)
+    return seconds
 
 
 def pass_time_parallel(link_messages: spmatrix | np.ndarray, model: TransferModel) -> float:
@@ -116,7 +122,15 @@ def pass_time_parallel(link_messages: spmatrix | np.ndarray, model: TransferMode
     else:
         per_peer = np.asarray(link_messages).sum(axis=1)
     slowest = float(per_peer.max()) if per_peer.size else 0.0
-    return model.compute_time_per_pass + slowest * model.message_size_bytes / model.rate_bytes_per_s
+    seconds = (
+        model.compute_time_per_pass
+        + slowest * model.message_size_bytes / model.rate_bytes_per_s
+    )
+    get_registry().gauge(
+        "sim.modeled_pass_seconds", unit="seconds",
+        description="latest Eq. 4 peer-parallel per-pass estimate",
+    ).set(seconds)
+    return seconds
 
 
 def internet_scale_estimate(

@@ -1,0 +1,74 @@
+"""The ``make obs-demo`` invocation, run in-process so the documented
+example (README / docs/OBSERVABILITY.md) cannot rot."""
+
+import json
+import re
+from pathlib import Path
+
+from repro import obs
+from repro.cli import main
+from repro.obs.report import layer_of
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# The exact arguments the Makefile target passes (kept in lockstep by
+# test_makefile_target_matches below).
+DEMO_ARGS = [
+    "obs", "report",
+    "--docs", "800", "--sim-docs", "200", "--peers", "30", "--sim-peers", "10",
+]
+
+
+def test_makefile_target_matches():
+    makefile = (REPO_ROOT / "Makefile").read_text()
+    assert "obs-demo:" in makefile
+    assert "-m repro " + " ".join(DEMO_ARGS) in makefile
+
+
+def test_obs_demo_reports_metrics_across_all_layers(capsys):
+    assert main(DEMO_ARGS) == 0
+    out = capsys.readouterr().out
+    metric_rows = [
+        line.split()[0]
+        for line in out.splitlines()
+        if re.match(r"^(core|p2p|sim)\.", line)
+    ]
+    # Acceptance: >= 10 distinct metrics spanning core, p2p and sim.
+    assert len(set(metric_rows)) >= 10
+    assert {layer_of(m) for m in metric_rows} == {"core", "p2p", "sim"}
+    assert "docs/OBSERVABILITY.md" in out
+    # The demo must not leave a registry enabled behind.
+    assert obs.get_registry() is obs.NULL_REGISTRY
+
+
+def test_obs_demo_json_and_trace(tmp_path, capsys):
+    trace_path = tmp_path / "trace.jsonl"
+    args = DEMO_ARGS + ["--json", "--trace", str(trace_path)]
+    assert main(args) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert len(snapshot) >= 10
+    assert {layer_of(name) for name in snapshot} >= {"core", "p2p", "sim"}
+    for name, snap in snapshot.items():
+        assert snap["type"] in {"counter", "gauge", "histogram", "timer"}
+        assert "unit" in snap and "description" in snap
+    records = [
+        json.loads(line) for line in trace_path.read_text().splitlines() if line
+    ]
+    assert any(r["name"] == "core.pass" for r in records)
+    assert any(r["name"] == "sim.pass" for r in records)
+    assert any(r["kind"] == "span_end" for r in records)
+
+
+def test_documented_metrics_exist_in_demo_snapshot(capsys):
+    """Every metric the operator's guide catalogues must actually be
+    emitted by the demo run (docs/OBSERVABILITY.md cannot drift)."""
+    doc = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
+    # Only the metric-catalogue section: later sections name trace
+    # *events* (core.pass, sim.run, ...) which are not registry metrics.
+    catalogue = doc.split("## 3. Metric catalogue")[1].split("## 4.")[0]
+    documented = set(re.findall(r"`((?:core|p2p|sim)\.[a-z0-9_.]+)`", catalogue))
+    assert len(documented) >= 10
+    assert main(DEMO_ARGS + ["--json"]) == 0
+    emitted = set(json.loads(capsys.readouterr().out))
+    missing = documented - emitted
+    assert not missing, f"documented but never emitted by the demo: {sorted(missing)}"

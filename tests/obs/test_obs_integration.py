@@ -1,0 +1,153 @@
+"""End-to-end observability: real engine runs emit the expected
+metrics, and disabling observability leaves results byte-identical."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import ChaoticPagerank
+from repro.graphs import broder_graph
+from repro.p2p import DocumentPlacement, FixedFractionChurn, P2PNetwork
+from repro.simulation import (
+    RATE_32KBPS,
+    P2PPagerankSimulation,
+    TransferModel,
+    total_time_serialized,
+)
+
+DOCS = 600
+PEERS = 20
+
+
+@pytest.fixture()
+def graph():
+    return broder_graph(DOCS, seed=0)
+
+
+@pytest.fixture()
+def placement():
+    return DocumentPlacement.random(DOCS, PEERS, seed=1)
+
+
+def _run(graph, placement, **kwargs):
+    engine = ChaoticPagerank(
+        graph, placement.assignment, num_peers=PEERS, epsilon=1e-3
+    )
+    return engine.run(**kwargs)
+
+
+class TestCoreMetrics:
+    def test_static_run_emits_expected_core_metrics(self, graph, placement):
+        with obs.use_registry() as reg:
+            report = _run(graph, placement)
+            snap = reg.snapshot()
+        assert snap["core.passes"]["value"] == report.passes
+        assert snap["core.messages_sent"]["value"] == report.total_messages
+        assert report.total_messages > 0
+        assert snap["core.updates_applied"]["value"] > 0
+        assert snap["core.pass_seconds"]["count"] == report.passes
+        # Converged run: final residual at or below epsilon, nothing active.
+        assert snap["core.residual"]["value"] <= 1e-3
+        assert snap["core.active_documents"]["value"] == 0
+
+    def test_trace_shows_decreasing_residual(self, graph, placement):
+        buf = io.StringIO()
+        with obs.use_registry(), obs.use_trace_sink(obs.TraceSink(buf)):
+            report = _run(graph, placement)
+        records = [json.loads(line) for line in buf.getvalue().splitlines()]
+        passes = [r for r in records if r["name"] == "core.pass"]
+        assert len(passes) == report.passes
+        residuals = [p["fields"]["residual"] for p in passes]
+        # Chaotic iteration is not strictly monotone, but the trace must
+        # show overall convergence: the run ends far below where it began.
+        assert residuals[-1] <= 1e-3 < residuals[0]
+        spans = [r for r in records if r["name"] == "core.run"]
+        assert [s["kind"] for s in spans] == ["span_begin", "span_end"]
+
+    def test_churn_run_emits_resend_metrics(self, graph, placement):
+        with obs.use_registry() as reg:
+            churn = FixedFractionChurn(PEERS, 0.7, seed=2)
+            report = _run(graph, placement, availability=churn, max_passes=3000)
+            snap = reg.snapshot()
+        assert report.converged
+        assert snap["core.messages_deferred"]["value"] > 0
+        assert snap["core.messages_resent"]["value"] > 0
+        assert snap["p2p.churn.samples"]["value"] == report.passes
+        assert snap["p2p.churn.departures"]["value"] > 0
+        assert snap["p2p.churn.rejoins"]["value"] > 0
+        assert snap["p2p.churn.absence_passes"]["count"] > 0
+        assert snap["p2p.churn.absence_passes"]["min"] >= 1
+
+    def test_disabled_observability_is_byte_identical(self, graph, placement):
+        baseline = _run(graph, placement)  # default: NullRegistry
+        with obs.use_registry():
+            instrumented = _run(graph, placement)
+        again = _run(graph, placement)
+        assert instrumented.ranks.tobytes() == baseline.ranks.tobytes()
+        assert again.ranks.tobytes() == baseline.ranks.tobytes()
+        assert instrumented.passes == baseline.passes
+        assert instrumented.total_messages == baseline.total_messages
+
+    def test_disabled_churn_path_byte_identical(self, graph, placement):
+        def run_once():
+            churn = FixedFractionChurn(PEERS, 0.7, seed=2)
+            return _run(graph, placement, availability=churn, max_passes=3000)
+
+        baseline = run_once()
+        with obs.use_registry():
+            instrumented = run_once()
+        assert instrumented.ranks.tobytes() == baseline.ranks.tobytes()
+        assert instrumented.total_messages == baseline.total_messages
+
+
+class TestSimulationMetrics:
+    def test_protocol_sim_metrics_match_traffic_summary(self):
+        graph = broder_graph(250, seed=3)
+        with obs.use_registry() as reg:
+            net = P2PNetwork(10)
+            net.place_documents(250, seed=4)
+            cross = net.cross_peer_edge_count(graph)
+            sim = P2PPagerankSimulation(graph, net, epsilon=1e-3)
+            report = sim.run()
+            total_time_serialized(
+                report.total_messages,
+                TransferModel(rate_bytes_per_s=RATE_32KBPS),
+            )
+            snap = reg.snapshot()
+        assert snap["sim.passes"]["value"] == report.passes
+        assert snap["sim.messages_delivered"]["value"] == sim.traffic.update_messages
+        assert snap["sim.network_batches"]["value"] == sim.traffic.network_batches
+        assert snap["sim.bytes_transferred"]["value"] == sim.traffic.bytes_transferred
+        assert (
+            snap["sim.bytes_transferred"]["value"]
+            == 24 * snap["sim.messages_delivered"]["value"]
+        )
+        assert snap["p2p.placement.documents"]["value"] == 250
+        assert snap["p2p.placement.cross_peer_links"]["value"] == cross
+        assert snap["sim.modeled_transfer_seconds"]["value"] == pytest.approx(
+            report.total_messages * 24 / RATE_32KBPS
+        )
+
+    def test_engines_agree_under_shared_instrumentation(self):
+        """The two engines' message metrics coincide (the repo's core
+        cross-validation claim), now read from one registry."""
+        graph = broder_graph(250, seed=3)
+        placement = DocumentPlacement.random(250, 10, seed=4)
+        with obs.use_registry() as reg:
+            fast = ChaoticPagerank(
+                graph, placement.assignment, num_peers=10, epsilon=1e-3
+            ).run()
+            net = P2PNetwork(10, placement=placement)
+            sim = P2PPagerankSimulation(graph, net, epsilon=1e-3)
+            slow = sim.run()
+            snap = reg.snapshot()
+        np.testing.assert_array_equal(fast.ranks, slow.ranks)
+        assert (
+            snap["core.messages_sent"]["value"]
+            == snap["sim.messages_delivered"]["value"]
+            == fast.total_messages
+            == slow.total_messages
+        )

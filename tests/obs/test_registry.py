@@ -1,0 +1,211 @@
+"""Unit tests for the metrics registry (repro.obs.registry)."""
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import (
+    _NULL_COUNTER,
+    _NULL_GAUGE,
+    _NULL_HISTOGRAM,
+    _NULL_TIMER,
+)
+
+
+class TestCounter:
+    def test_create_increment_snapshot_round_trip(self):
+        reg = obs.MetricsRegistry()
+        c = reg.counter("core.messages_sent", unit="messages", description="sent")
+        c.inc()
+        c.inc(41)
+        snap = reg.snapshot()["core.messages_sent"]
+        assert snap == {
+            "type": "counter",
+            "unit": "messages",
+            "description": "sent",
+            "value": 42,
+        }
+
+    def test_get_or_create_returns_same_instrument(self):
+        reg = obs.MetricsRegistry()
+        a = reg.counter("x.n")
+        b = reg.counter("x.n")
+        assert a is b
+        a.inc(3)
+        assert b.value == 3
+
+    def test_counter_rejects_decrease(self):
+        c = obs.MetricsRegistry().counter("x.n")
+        with pytest.raises(ValueError, match="cannot decrease"):
+            c.inc(-1)
+
+    def test_type_conflict_raises(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("x.n")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x.n")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.histogram("x.n")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.timer("x.n")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        reg = obs.MetricsRegistry()
+        g = reg.gauge("core.residual", unit="rel. change")
+        g.set(0.5)
+        g.set(0.25)
+        assert reg.snapshot()["core.residual"]["value"] == 0.25
+
+
+class TestHistogram:
+    def test_percentiles_exact_when_under_cap(self):
+        h = obs.MetricsRegistry().histogram("h", max_samples=1024)
+        for v in range(1, 101):
+            h.observe(v)
+        assert h.count == 100
+        assert h.total == 5050
+        assert h.mean == 50.5
+        assert h.min == 1 and h.max == 100
+        assert h.percentile(0) == 1
+        assert h.percentile(100) == 100
+        assert abs(h.percentile(50) - 50) <= 1
+        assert abs(h.percentile(90) - 90) <= 1
+        assert abs(h.percentile(99) - 99) <= 1
+
+    def test_decimation_keeps_exact_count_and_mean(self):
+        h = obs.MetricsRegistry().histogram("h", max_samples=64)
+        n = 10_000
+        for v in range(n):
+            h.observe(v)
+        assert h.count == n                      # exact despite decimation
+        assert h.total == sum(range(n))          # exact
+        assert len(h._samples) <= 64             # bounded memory
+        assert h.min == 0 and h.max == n - 1
+        # Decimated percentiles stay representative of a uniform stream.
+        assert abs(h.percentile(50) - n / 2) < n * 0.1
+
+    def test_empty_histogram_snapshot(self):
+        snap = obs.MetricsRegistry().histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] == 0.0 and snap["max"] == 0.0
+        assert snap["p50"] == 0.0
+
+    def test_percentile_range_checked(self):
+        h = obs.MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+
+class TestTimer:
+    def test_timer_is_a_context_manager_metric(self):
+        reg = obs.MetricsRegistry()
+        t = reg.timer("sim.pass_seconds", description="per pass")
+        with t:
+            pass
+        with t:
+            pass
+        snap = reg.snapshot()["sim.pass_seconds"]
+        assert snap["type"] == "timer"
+        assert snap["unit"] == "seconds"
+        assert snap["count"] == 2
+        assert snap["total"] >= 0.0
+        assert snap["mean"] == snap["total"] / 2
+
+
+class TestRegistry:
+    def test_names_len_contains_get(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("b.two")
+        reg.gauge("a.one")
+        assert reg.names() == ["a.one", "b.two"]
+        assert len(reg) == 2
+        assert "a.one" in reg
+        assert "missing" not in reg
+        assert reg.get("missing") is None
+
+    def test_clear(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("x.n").inc()
+        reg.clear()
+        assert reg.snapshot() == {}
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        reg = obs.MetricsRegistry()
+        reg.counter("c")
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(2)
+        with reg.timer("t"):
+            pass
+        json.loads(obs.snapshot_to_json(reg.snapshot()))
+
+
+class TestNullRegistry:
+    def test_default_registry_is_disabled(self):
+        reg = obs.get_registry()
+        assert reg is obs.NULL_REGISTRY
+        assert not reg.enabled
+
+    def test_null_instruments_are_shared_no_ops(self):
+        reg = obs.NullRegistry()
+        c = reg.counter("core.messages_sent")
+        assert c is _NULL_COUNTER and c is reg.counter("anything.else")
+        c.inc(10)
+        assert c.value == 0
+        g = reg.gauge("g")
+        assert g is _NULL_GAUGE
+        g.set(3.0)
+        assert g.value == 0.0
+        h = reg.histogram("h")
+        assert h is _NULL_HISTOGRAM
+        h.observe(5.0)
+        assert h.count == 0
+        t = reg.timer("t")
+        assert t is _NULL_TIMER
+        with t:
+            pass
+        assert t.count == 0
+        assert reg.snapshot() == {}
+
+    def test_enable_disable_round_trip(self):
+        assert not obs.get_registry().enabled
+        try:
+            reg = obs.enable()
+            assert obs.get_registry() is reg and reg.enabled
+            # enable() again keeps the same registry (no data loss).
+            assert obs.enable() is reg
+        finally:
+            obs.disable()
+        assert obs.get_registry() is obs.NULL_REGISTRY
+
+    def test_use_registry_restores_previous_even_on_error(self):
+        before = obs.get_registry()
+        with pytest.raises(RuntimeError):
+            with obs.use_registry() as reg:
+                assert obs.get_registry() is reg
+                raise RuntimeError("boom")
+        assert obs.get_registry() is before
+
+    def test_set_registry_type_checked(self):
+        with pytest.raises(TypeError):
+            obs.set_registry(object())
+
+
+class TestRender:
+    def test_render_snapshot_lists_every_metric(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("core.passes", unit="passes").inc(7)
+        reg.histogram("p2p.chord.hops", unit="hops").observe(3)
+        text = obs.render_snapshot(reg.snapshot())
+        assert "core.passes" in text
+        assert "p2p.chord.hops" in text
+        assert "7" in text
+
+    def test_render_empty_snapshot(self):
+        assert "(no metrics recorded)" in obs.render_snapshot({})
+
+    def test_layer_of(self):
+        assert obs.layer_of("core.messages_sent") == "core"
+        assert obs.layer_of("plain") == "plain"

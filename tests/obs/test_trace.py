@@ -1,0 +1,108 @@
+"""JSONL trace-sink schema tests (repro.obs.trace)."""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+
+SCHEMA_KEYS = {"ts", "kind", "name", "span", "fields"}
+KINDS = {"event", "span_begin", "span_end"}
+
+
+def _parse(text):
+    records = [json.loads(line) for line in text.splitlines() if line]
+    for r in records:
+        assert set(r) == SCHEMA_KEYS
+        assert isinstance(r["ts"], float)
+        assert r["kind"] in KINDS
+        assert isinstance(r["name"], str)
+        assert r["span"] is None or isinstance(r["span"], int)
+        assert isinstance(r["fields"], dict)
+    return records
+
+
+class TestTraceSink:
+    def test_event_schema(self):
+        buf = io.StringIO()
+        sink = obs.TraceSink(buf)
+        sink.event("core.pass", pass_index=0, residual=0.5)
+        (rec,) = _parse(buf.getvalue())
+        assert rec["kind"] == "event"
+        assert rec["name"] == "core.pass"
+        assert rec["span"] is None
+        assert rec["fields"] == {"pass_index": 0, "residual": 0.5}
+
+    def test_span_pairing_and_duration(self):
+        buf = io.StringIO()
+        sink = obs.TraceSink(buf)
+        with sink.span("core.run", documents=10) as span_id:
+            sink.event("core.pass", pass_index=0)
+        begin, event, end = _parse(buf.getvalue())
+        assert begin["kind"] == "span_begin" and end["kind"] == "span_end"
+        assert begin["name"] == end["name"] == "core.run"
+        assert begin["span"] == end["span"] == event["span"] == span_id
+        assert begin["fields"] == {"documents": 10}
+        assert end["fields"]["duration_s"] >= 0.0
+
+    def test_nested_spans_attribute_events_to_innermost(self):
+        buf = io.StringIO()
+        sink = obs.TraceSink(buf)
+        with sink.span("outer") as outer_id:
+            with sink.span("inner") as inner_id:
+                sink.event("tick")
+            sink.event("tock")
+        records = _parse(buf.getvalue())
+        assert outer_id != inner_id
+        by_name = {r["name"]: r for r in records if r["kind"] == "event"}
+        assert by_name["tick"]["span"] == inner_id
+        assert by_name["tock"]["span"] == outer_id
+
+    def test_span_end_emitted_on_error(self):
+        buf = io.StringIO()
+        sink = obs.TraceSink(buf)
+        with pytest.raises(RuntimeError):
+            with sink.span("core.run"):
+                raise RuntimeError("boom")
+        begin, end = _parse(buf.getvalue())
+        assert end["kind"] == "span_end"
+
+    def test_file_target_owned_and_closed(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with obs.TraceSink(str(path)) as sink:
+            sink.event("e", n=1)
+            assert sink.path == str(path)
+        records = _parse(path.read_text())
+        assert len(records) == 1
+        assert sink.events_written == 1
+
+    def test_events_counted(self):
+        sink = obs.TraceSink(io.StringIO())
+        sink.event("a")
+        with sink.span("s"):
+            pass
+        assert sink.events_written == 3  # event + span_begin + span_end
+
+
+class TestNullTraceSink:
+    def test_default_sink_is_disabled_no_op(self):
+        sink = obs.get_trace_sink()
+        assert sink is obs.NULL_TRACE_SINK
+        assert not sink.enabled
+        sink.event("anything", x=1)
+        with sink.span("anything") as span_id:
+            assert span_id == 0
+        assert sink.events_written == 0
+
+    def test_use_trace_sink_restores_previous(self):
+        before = obs.get_trace_sink()
+        buf = io.StringIO()
+        real = obs.TraceSink(buf)
+        with obs.use_trace_sink(real) as active:
+            assert obs.get_trace_sink() is real is active
+        assert obs.get_trace_sink() is before
+
+    def test_set_trace_sink_type_checked(self):
+        with pytest.raises(TypeError):
+            obs.set_trace_sink(object())
