@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the library's main entry points without writing
+Seven commands cover the library's main entry points without writing
 any Python:
 
 ``pagerank``
@@ -14,6 +14,11 @@ any Python:
     Execute the paper's Figure 2 worked example.
 ``search``
     Run the Table 6 search-traffic experiment at custom scale.
+``faults``
+    Run the fault-injection sweep: convergence under message loss
+    (plus duplication, delay, and two mid-run peer crashes) at several
+    loss rates, scored against the centralized reference — see
+    docs/PROTOCOL.md §13 for the reliability layer it exercises.
 ``obs report``
     Run a small fully instrumented simulation (both engines, with
     churn and routed delivery) and dump the metrics snapshot as a
@@ -76,6 +81,22 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--peers", type=int, default=50)
     s.add_argument("--queries", type=int, default=20, help="queries per arity")
     s.add_argument("--seed", type=int, default=0)
+
+    f = sub.add_parser(
+        "faults",
+        help="run the convergence-under-faults sweep (loss/dup/delay/crashes)",
+    )
+    f.add_argument("--docs", type=int, default=200, help="number of documents")
+    f.add_argument("--peers", type=int, default=16, help="number of peers")
+    f.add_argument("--epsilon", type=float, default=1e-3)
+    f.add_argument(
+        "--loss-rates", type=float, nargs="+", default=[0.0, 0.01, 0.05, 0.20],
+        help="message-loss rates, one table row each",
+    )
+    f.add_argument("--duplicate-rate", type=float, default=0.02)
+    f.add_argument("--delay-rate", type=float, default=0.05)
+    f.add_argument("--max-passes", type=int, default=2_000)
+    f.add_argument("--seed", type=int, default=0)
 
     o = sub.add_parser("obs", help="observability tooling (metrics + traces)")
     osub = o.add_subparsers(dest="obs_command", required=True)
@@ -231,6 +252,28 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_faults(args) -> int:
+    from repro.faults import FaultExperimentConfig, run_fault_experiment
+
+    config = FaultExperimentConfig(
+        num_documents=args.docs,
+        num_peers=args.peers,
+        epsilon=args.epsilon,
+        loss_rates=tuple(args.loss_rates),
+        duplicate_rate=args.duplicate_rate,
+        delay_rate=args.delay_rate,
+        max_passes=args.max_passes,
+        seed=args.seed,
+    )
+    result = run_fault_experiment(config)
+    print(result.render())
+    failed = [t for t in result.trials if not t.converged]
+    if failed:
+        rates = ", ".join(f"{t.loss_rate:.0%}" for t in failed)
+        print(f"\nWARNING: no convergence at loss rate(s) {rates}")
+    return 0
+
+
 def _cmd_obs(args) -> int:
     from contextlib import ExitStack
 
@@ -324,6 +367,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "figure2": _cmd_figure2,
         "report": _cmd_report,
         "search": _cmd_search,
+        "faults": _cmd_faults,
         "obs": _cmd_obs,
     }
     return handlers[args.command](args)

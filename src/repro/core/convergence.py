@@ -72,6 +72,12 @@ class RunReport:
         Per-pass statistics (empty if tracking was disabled).
     epsilon:
         The convergence threshold the run used.
+    diagnostics:
+        ``None`` for a normal run.  When a faulted run is aborted by
+        the residual-stagnation detector this carries the
+        :class:`repro.faults.FaultDiagnostics` report (black-holed
+        links, undelivered update mass) explaining *why* convergence
+        was unreachable.
     """
 
     ranks: np.ndarray
@@ -80,6 +86,7 @@ class RunReport:
     total_messages: int
     history: tuple
     epsilon: float
+    diagnostics: Optional[object] = None
 
     @property
     def messages_per_document(self) -> float:
@@ -130,7 +137,9 @@ class ConvergenceTracker:
         if self.keep_history:
             self._history.append(stats)
 
-    def finish(self, ranks: np.ndarray, converged: bool) -> RunReport:
+    def finish(
+        self, ranks: np.ndarray, converged: bool, diagnostics=None
+    ) -> RunReport:
         """Freeze into a :class:`RunReport`."""
         return RunReport(
             ranks=ranks,
@@ -139,4 +148,5 @@ class ConvergenceTracker:
             total_messages=self.total_messages,
             history=tuple(self._history),
             epsilon=self.epsilon,
+            diagnostics=diagnostics,
         )

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro._util import check_positive, check_threshold
 from repro.core.convergence import ConvergenceTracker, PassStats, RunReport
+from repro.faults.plan import FaultPlan
 from repro.obs import get_registry, get_trace_sink
 from repro.core.kernels import EdgeWorkspace, relative_change
 from repro.core.pagerank import DEFAULT_DAMPING
@@ -69,6 +70,8 @@ class _CoreInstruments:
         "messages",
         "deferred",
         "resent",
+        "dropped",
+        "dead_passes",
         "residual",
         "active",
         "live_peers",
@@ -95,6 +98,15 @@ class _CoreInstruments:
         self.resent = reg.counter(
             "core.messages_resent", unit="messages",
             description="store-and-resend deliveries to returned peers",
+        )
+        self.dropped = reg.counter(
+            "core.messages_dropped", unit="messages",
+            description="cross-peer deliveries lost to injected faults "
+                        "(parked for retransmission next pass)",
+        )
+        self.dead_passes = reg.counter(
+            "core.dead_passes", unit="passes",
+            description="passes skipped because zero peers were live",
         )
         self.residual = reg.gauge(
             "core.residual", unit="rel. change",
@@ -126,6 +138,18 @@ class AvailabilityModel(Protocol):
     def sample(self, pass_index: int) -> np.ndarray:
         """Boolean array of length ``num_peers``: True = peer present."""
         ...  # pragma: no cover
+
+
+class _AllLive:
+    """Trivial availability model: every peer present every pass.  Used
+    to route fault-injected runs through the per-edge churn path when no
+    real availability model was supplied."""
+
+    def __init__(self, num_peers: int) -> None:
+        self._mask = np.ones(num_peers, dtype=bool)
+
+    def sample(self, pass_index: int) -> np.ndarray:
+        return self._mask
 
 
 class ChaoticPagerank:
@@ -217,6 +241,8 @@ class ChaoticPagerank:
         initial_ranks: Optional[np.ndarray] = None,
         keep_history: bool = True,
         on_pass=None,
+        fault_plan: Optional[FaultPlan] = None,
+        max_dead_passes: int = 50,
     ) -> RunReport:
         """Iterate until the strong convergence criterion or the pass
         budget is hit.
@@ -230,6 +256,22 @@ class ChaoticPagerank:
             Optional peer-availability model (see
             :class:`AvailabilityModel`); ``None`` means all peers are
             always present (Table 1's 100 % column).
+        fault_plan:
+            Optional seeded :class:`repro.faults.FaultPlan`.  The
+            vectorized engine honours the plan's *message loss* only: a
+            dropped cross-peer delivery is parked in the §3.1
+            store-and-resend state and retransmitted next pass, which
+            is exactly what a reliable transport converges to at
+            pass granularity.  Duplicates are no-ops on the engine's
+            idempotent per-edge state, and crash/partition faults need
+            the message-level simulator
+            (:class:`repro.simulation.engine.P2PPagerankSimulation`).
+            Passing a plan routes the run through the per-edge churn
+            path (with an all-live shim when ``availability`` is None).
+        max_dead_passes:
+            Cap on *consecutive* passes with zero live peers; exceeded
+            → ``RuntimeError`` instead of a silent stall (dead passes
+            are skipped, never evaluated for convergence).
         initial_ranks:
             Warm-start ranks (e.g. resuming after an incremental
             insert); defaults to ``init_rank`` everywhere.  Warm-start
@@ -250,10 +292,19 @@ class ChaoticPagerank:
         """
         if max_passes < 1:
             raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+        if max_dead_passes < 1:
+            raise ValueError(
+                f"max_dead_passes must be >= 1, got {max_dead_passes}"
+            )
         if availability is None:
-            return self._run_static(max_passes, initial_ranks, keep_history, on_pass)
+            if fault_plan is None:
+                return self._run_static(
+                    max_passes, initial_ranks, keep_history, on_pass
+                )
+            availability = _AllLive(self.num_peers)
         return self._run_churn(
-            max_passes, availability, initial_ranks, keep_history, on_pass
+            max_passes, availability, initial_ranks, keep_history, on_pass,
+            fault_plan=fault_plan, max_dead_passes=max_dead_passes,
         )
 
     # ------------------------------------------------------------------
@@ -335,6 +386,9 @@ class ChaoticPagerank:
         initial_ranks: Optional[np.ndarray],
         keep_history: bool,
         on_pass=None,
+        *,
+        fault_plan: Optional[FaultPlan] = None,
+        max_dead_passes: int = 50,
     ) -> RunReport:
         n = self.graph.num_nodes
         ws = self.workspace
@@ -361,6 +415,7 @@ class ChaoticPagerank:
         obs = _CoreInstruments(get_registry())
         sink = get_trace_sink()
         converged = False
+        dead_streak = 0
         with sink.span(
             "core.run", mode="churn", documents=n,
             peers=self.num_peers, epsilon=self.epsilon,
@@ -372,6 +427,34 @@ class ChaoticPagerank:
                         f"availability.sample must return shape ({self.num_peers},), "
                         f"got {live_peer.shape}"
                     )
+                if not live_peer.any():
+                    # All peers down: skip the pass — with nothing live,
+                    # active/pending/dirty are vacuously quiet and the
+                    # convergence check would falsely fire.
+                    dead_streak += 1
+                    obs.passes.inc()
+                    obs.dead_passes.inc()
+                    obs.live_peers.set(0)
+                    tracker.record(
+                        PassStats(
+                            pass_index=t,
+                            max_rel_change=0.0,
+                            active_documents=0,
+                            messages=0,
+                            deferred_messages=int(pending.sum()),
+                            live_peers=0,
+                            computed_documents=0,
+                        )
+                    )
+                    if dead_streak >= max_dead_passes:
+                        raise RuntimeError(
+                            f"no live peers for {dead_streak} consecutive "
+                            f"passes (pass {t}); the availability model "
+                            "starves the computation — raise availability "
+                            "or max_dead_passes"
+                        )
+                    continue
+                dead_streak = 0
                 with obs.pass_timer:
                     live_doc = live_peer[self.assignment]
                     src_live = live_doc[src]
@@ -380,6 +463,15 @@ class ChaoticPagerank:
                     # 1) Store-and-resend: stored updates whose sender and
                     #    receiver are both now present get delivered.
                     resend = pending & src_live & dst_live
+                    n_dropped = 0
+                    if fault_plan is not None and resend.any():
+                        # Retransmissions travel the same lossy links: a
+                        # dropped one simply stays pending for next pass.
+                        cand = np.flatnonzero(resend)
+                        kept = fault_plan.edge_delivery_mask(t, cand.size)
+                        if not kept.all():
+                            resend[cand[~kept]] = False
+                            n_dropped += int((~kept).sum())
                     n_resent = int(resend.sum())
                     if n_resent:
                         delivered[resend] = pending_val[resend]
@@ -397,6 +489,25 @@ class ChaoticPagerank:
                     send_edge = active[src]
                     deliver_edge = send_edge & dst_live
                     defer_edge = send_edge & ~dst_live
+
+                    if fault_plan is not None:
+                        # Lossy-send hook: each cross-peer delivery rolls
+                        # the plan; a lost copy is parked in the
+                        # store-and-resend state and retried next pass —
+                        # the pass-granular equivalent of a reliable
+                        # transport's ack-timeout retransmission.
+                        lossy = np.flatnonzero(deliver_edge & cross)
+                        if lossy.size:
+                            kept = fault_plan.edge_delivery_mask(t, lossy.size)
+                            if not kept.all():
+                                lost = lossy[~kept]
+                                deliver_edge[lost] = False
+                                pending_val[lost] = new[src[lost]]
+                                pending[lost] = True
+                                n_dropped += lost.size
+                        # A fresh value that does get through supersedes
+                        # any staler copy still awaiting retransmission.
+                        pending[deliver_edge] = False
 
                     # 3) Deliver to present receivers; store for absent ones.
                     if deliver_edge.any():
@@ -420,6 +531,7 @@ class ChaoticPagerank:
                 obs.messages.inc(messages)
                 obs.deferred.inc(deferred)
                 obs.resent.inc(n_resent)
+                obs.dropped.inc(n_dropped)
                 obs.residual.set(max_change)
                 obs.active.set(n_active)
                 obs.live_peers.set(n_live)

@@ -1,0 +1,559 @@
+"""Reliable batch delivery over a faulty transport (acks + backoff).
+
+The protocol's wire format (docs/PROTOCOL.md §2) has no reliability:
+a :class:`~repro.p2p.messages.MessageBatch` that the network drops is
+simply gone, and the §3.1 store-and-resend rule only covers receivers
+known to be *absent* — not messages lost in flight.  This module adds
+the missing layer, the classic positive-ack protocol:
+
+* every batch transfer is a **flight** with a transport-level id;
+* a delivered batch is acknowledged by the receiver
+  (:class:`~repro.p2p.messages.BatchAck`); the ack travels the same
+  lossy links and can itself be dropped;
+* an unacknowledged flight is retransmitted after a timeout, with the
+  timeout doubling per attempt (exponential backoff) up to a retry
+  budget; exhausting the budget *abandons* the flight and records the
+  (sender, receiver) link as black-holed;
+* retransmits necessarily produce duplicate deliveries; the receiver's
+  per-source version dedup (`Peer.receive`, which rejects equal-or-
+  older versions) makes them no-ops, and the transport counts how many
+  updates that suppression absorbed.
+
+Fault decisions (drop/duplicate/delay/partition) come from the seeded
+:class:`~repro.faults.plan.FaultPlan`; the transport itself is
+deterministic given the plan and the engine's call order.
+
+Degradation is graceful, not silent: :class:`StagnationDetector`
+watches for passes in which the computation is quiescent yet
+undeliverable updates remain, and :class:`FaultDiagnostics` is the
+abort report — which links are black-holed and how much update mass
+never arrived — returned on :class:`~repro.core.convergence.RunReport`
+instead of spinning to the pass cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.p2p.messages import MessageBatch
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "ReliabilityConfig",
+    "FaultStats",
+    "ReliableTransport",
+    "StagnationDetector",
+    "FaultDiagnostics",
+]
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Ack/retry/backoff parameters of the reliable-delivery layer.
+
+    Attributes
+    ----------
+    ack_timeout_passes:
+        Passes to wait for an ack before the first retransmit.
+    backoff_factor:
+        Timeout multiplier per failed attempt (attempt ``k`` waits
+        ``ack_timeout_passes * backoff_factor**(k-1)`` passes).
+    max_retries:
+        Retransmissions allowed per flight.  A flight still unacked
+        after the budget is *abandoned* — recorded as black-holed, its
+        updates counted as undelivered mass for the diagnostics report.
+    max_retry_delay_passes:
+        Backoff ceiling.  Uncapped exponential backoff would park a
+        flight for hundreds of passes — longer than the stagnation
+        window — and starve an otherwise-recoverable run; capping it
+        also bounds the worst-case pass count before a doomed flight
+        exhausts its budget and is abandoned.
+    """
+
+    ack_timeout_passes: int = 2
+    backoff_factor: float = 2.0
+    max_retries: int = 10
+    max_retry_delay_passes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ack_timeout_passes < 1:
+            raise ValueError(
+                f"ack_timeout_passes must be >= 1, got {self.ack_timeout_passes}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.max_retry_delay_passes < 1:
+            raise ValueError(
+                "max_retry_delay_passes must be >= 1, "
+                f"got {self.max_retry_delay_passes}"
+            )
+
+    def retry_delay(self, attempt: int) -> int:
+        """Whole passes to wait after failed attempt number ``attempt``."""
+        delay = int(self.ack_timeout_passes * self.backoff_factor ** (attempt - 1))
+        return max(1, min(delay, self.max_retry_delay_passes))
+
+
+@dataclass
+class FaultStats:
+    """Plain-integer fault accounting, readable without the obs layer.
+
+    All message quantities are update counts (the catalogue's
+    *messages* unit); ``retries`` and ``partition_blocked_sends`` count
+    batch transfers, ``acks``/``ack_drops`` count acknowledgements.
+    """
+
+    dropped_updates: int = 0
+    duplicated_updates: int = 0
+    delayed_updates: int = 0
+    acks_sent: int = 0
+    acks_dropped: int = 0
+    retries: int = 0
+    redeliveries_suppressed: int = 0
+    partition_blocked_sends: int = 0
+    abandoned_updates: int = 0
+    crashes: int = 0
+    crash_state_loss: int = 0
+    reboot_republished: int = 0
+    stagnation_aborts: int = 0
+
+
+class _FaultInstruments:
+    """Registry handles for the fault layer's emissions (shared no-op
+    singletons under the default disabled registry).  Catalogued in
+    docs/OBSERVABILITY.md §4."""
+
+    __slots__ = (
+        "dropped", "duplicated", "delayed", "acks", "ack_drops", "retries",
+        "suppressed", "blocked", "abandoned", "crashes", "state_loss",
+        "republished", "aborts",
+    )
+
+    def __init__(self, reg) -> None:
+        self.dropped = reg.counter(
+            "faults.messages_dropped", unit="messages",
+            description="updates lost to injected message drops",
+        )
+        self.duplicated = reg.counter(
+            "faults.messages_duplicated", unit="messages",
+            description="updates delivered twice by injected duplication",
+        )
+        self.delayed = reg.counter(
+            "faults.messages_delayed", unit="messages",
+            description="updates whose delivery was postponed (reordering)",
+        )
+        self.acks = reg.counter(
+            "faults.ack_messages", unit="acks",
+            description="batch acknowledgements sent by receivers",
+        )
+        self.ack_drops = reg.counter(
+            "faults.acks_dropped", unit="acks",
+            description="acknowledgements lost in transit (forces retransmit)",
+        )
+        self.retries = reg.counter(
+            "faults.retries", unit="batches",
+            description="batch retransmissions after ack timeout",
+        )
+        self.suppressed = reg.counter(
+            "faults.redeliveries_suppressed", unit="messages",
+            description="duplicate updates absorbed by receiver version dedup",
+        )
+        self.blocked = reg.counter(
+            "faults.partition_blocked_sends", unit="batches",
+            description="send attempts blocked by an active link partition",
+        )
+        self.abandoned = reg.counter(
+            "faults.abandoned_updates", unit="messages",
+            description="updates whose flight exhausted the retry budget",
+        )
+        self.crashes = reg.counter(
+            "faults.crashes", unit="peers",
+            description="injected peer crashes (volatile state wiped)",
+        )
+        self.state_loss = reg.counter(
+            "faults.crash_state_loss", unit="messages",
+            description="in-flight updates wiped by peer crashes",
+        )
+        self.republished = reg.counter(
+            "faults.reboot_republished", unit="messages",
+            description="updates re-announced by rebooted peers (crash recovery)",
+        )
+        self.aborts = reg.counter(
+            "faults.stagnation_aborts", unit="runs",
+            description="runs aborted by the residual-stagnation detector",
+        )
+
+
+@dataclass
+class _Flight:
+    """One batch transfer awaiting acknowledgement."""
+
+    fid: int
+    batch: MessageBatch
+    first_sent_pass: int
+    attempts: int = 1
+    next_retry_pass: int = 0
+    delivered_once: bool = False
+
+
+@dataclass(frozen=True)
+class FaultDiagnostics:
+    """Why a faulted run was aborted (the graceful-degradation report).
+
+    Attributes
+    ----------
+    fired_at_pass:
+        Pass index at which the stagnation detector fired.
+    stagnant_passes:
+        Consecutive quiescent-but-undeliverable passes observed.
+    black_holed_links:
+        ``((sender, receiver), undelivered_updates)`` per link whose
+        flights exhausted the retry budget.
+    black_holed_peers:
+        Likely-culprit peers: those incident to at least half of the
+        black-holed links (a fully partitioned peer touches all of its
+        links; innocent bystanders touch only the ones to it).
+    abandoned_updates:
+        Updates whose flight was abandoned (retry budget exhausted).
+    unacked_updates:
+        Updates still sitting in unacknowledged flights at abort time.
+    undelivered_mass:
+        Total ``|value|`` mass of abandoned plus unacked updates — how
+        much rank contribution never reached its consumers.
+    """
+
+    fired_at_pass: int
+    stagnant_passes: int
+    black_holed_links: Tuple[Tuple[Tuple[int, int], int], ...]
+    black_holed_peers: Tuple[int, ...]
+    abandoned_updates: int
+    unacked_updates: int
+    undelivered_mass: float
+
+    def describe(self) -> str:
+        """Human-readable abort report."""
+        lines = [
+            f"residual stagnation after {self.stagnant_passes} quiescent "
+            f"passes (aborted at pass {self.fired_at_pass}):",
+            f"  undelivered updates: {self.abandoned_updates} abandoned, "
+            f"{self.unacked_updates} still unacked "
+            f"(|value| mass {self.undelivered_mass:.6g})",
+        ]
+        if self.black_holed_links:
+            lines.append("  black-holed links (sender->receiver: updates):")
+            for (s, r), n in self.black_holed_links:
+                lines.append(f"    {s} -> {r}: {n}")
+        if self.black_holed_peers:
+            lines.append(
+                "  unreachable peers: "
+                + ", ".join(str(p) for p in self.black_holed_peers)
+            )
+        return "\n".join(lines)
+
+
+class StagnationDetector:
+    """Detects quiescent-but-undeliverable runs (graceful abort).
+
+    A faulted run can reach a state where no document is active, yet
+    undelivered updates remain that can never arrive (permanent
+    partition, retry budget exhausted).  Without detection the engine
+    would spin to ``max_passes`` doing nothing.  The detector counts
+    consecutive passes that are *quiescent* (nothing published, no
+    recompute owed) while undeliverable-or-stuck updates exist and no
+    delivery succeeded; after ``window`` such passes it fires.
+    """
+
+    def __init__(self, window: int = 25) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self.streak = 0
+
+    def observe(
+        self,
+        *,
+        quiescent: bool,
+        undelivered: int,
+        delivered_this_pass: int,
+        attempts_this_pass: int = 0,
+    ) -> bool:
+        """Record one pass; True when stagnation is established.
+
+        A pass in which the transport still *attempted* a transmission
+        is not stagnant — the retry machinery is working and will
+        either get through or exhaust its budget (bounded by the
+        backoff cap); only once nothing is even being tried does the
+        clock run.
+        """
+        if (
+            quiescent
+            and undelivered > 0
+            and delivered_this_pass == 0
+            and attempts_this_pass == 0
+        ):
+            self.streak += 1
+        else:
+            self.streak = 0
+        return self.streak >= self.window
+
+
+class ReliableTransport:
+    """Ack/retry/backoff delivery of message batches under a fault plan.
+
+    Parameters
+    ----------
+    plan:
+        The seeded fault oracle.
+    config:
+        Ack/retry/backoff parameters.
+    deliver:
+        Engine callback ``deliver(batch) -> applied`` that hands a
+        delivered batch to the receiving peer and returns how many of
+        its updates actually mutated state (the rest were suppressed
+        by version dedup).  The callback must also do the engine's own
+        bookkeeping (dirty marking, routing-hop charges).
+    registry:
+        Metrics registry (defaults to the process registry's no-ops).
+
+    Per-pass delivery counts are exposed as ``pass_delivered`` /
+    ``pass_resent`` / ``pass_batches`` — reset by :meth:`begin_pass` —
+    so the engine can fold them into its traffic summary and
+    :class:`~repro.core.convergence.PassStats`.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        config: ReliabilityConfig,
+        deliver: Callable[[MessageBatch], int],
+        *,
+        registry=None,
+    ) -> None:
+        if registry is None:
+            from repro.obs import get_registry
+
+            registry = get_registry()
+        self.plan = plan
+        self.config = config
+        self._deliver = deliver
+        self.stats = FaultStats()
+        self._obs = _FaultInstruments(registry)
+        self._flights: Dict[int, _Flight] = {}
+        self._next_fid = 0
+        # (due_pass, seq, flight, attempt_no) — copies travelling the
+        # network, delivered in deterministic (due, seq) order.
+        self._delayed: List[Tuple[int, int, _Flight, int]] = []
+        self._delay_seq = 0
+        self._black_holed: Dict[Tuple[int, int], int] = {}
+        self._abandoned_mass = 0.0
+        self.pass_delivered = 0
+        self.pass_resent = 0
+        self.pass_batches = 0
+        self.pass_attempts = 0
+
+    # ------------------------------------------------------------------
+    # State inspection
+    # ------------------------------------------------------------------
+    @property
+    def unacked_updates(self) -> int:
+        """Updates in flights still awaiting acknowledgement."""
+        return sum(len(f.batch) for f in self._flights.values())
+
+    @property
+    def unacked_flights(self) -> int:
+        return len(self._flights)
+
+    @property
+    def abandoned_updates(self) -> int:
+        return self.stats.abandoned_updates
+
+    @property
+    def undeliverable_updates(self) -> int:
+        """Abandoned plus still-unacked updates (convergence blockers)."""
+        return self.stats.abandoned_updates + self.unacked_updates
+
+    def black_holed_links(self) -> Dict[Tuple[int, int], int]:
+        """Links whose flights exhausted the retry budget, with the
+        number of updates abandoned on each."""
+        return dict(self._black_holed)
+
+    # ------------------------------------------------------------------
+    # Pass lifecycle
+    # ------------------------------------------------------------------
+    def begin_pass(self, pass_index: int) -> None:
+        """Reset the per-pass delivery counters."""
+        self.pass_delivered = 0
+        self.pass_resent = 0
+        self.pass_batches = 0
+        self.pass_attempts = 0
+
+    def tick(self, pass_index: int, live) -> None:
+        """Deliver due delayed copies, then retransmit timed-out flights.
+
+        Call once per pass, after ``begin_pass`` and before the compute
+        step (the transport's analogue of §3.1's resend-first rule).
+        """
+        if self._delayed:
+            due = [e for e in self._delayed if e[0] <= pass_index]
+            if due:
+                self._delayed = [e for e in self._delayed if e[0] > pass_index]
+                for _, _, flight, attempt in sorted(due, key=lambda e: (e[0], e[1])):
+                    self._deliver_copy(pass_index, flight, attempt, live)
+
+        if not self._flights:
+            return
+        for fid in list(self._flights):
+            flight = self._flights.get(fid)
+            if flight is None or flight.next_retry_pass > pass_index:
+                continue
+            if flight.attempts > self.config.max_retries:
+                self._abandon(flight)
+                continue
+            flight.attempts += 1
+            self.stats.retries += 1
+            self._obs.retries.inc()
+            self._attempt(pass_index, flight, live)
+
+    def send(self, pass_index: int, batch: MessageBatch, live) -> None:
+        """Submit a freshly staged batch for reliable delivery."""
+        if not len(batch):
+            return
+        flight = _Flight(
+            fid=self._next_fid, batch=batch, first_sent_pass=pass_index
+        )
+        self._next_fid += 1
+        self._flights[flight.fid] = flight
+        self._attempt(pass_index, flight, live)
+
+    # ------------------------------------------------------------------
+    # Crash support
+    # ------------------------------------------------------------------
+    def wipe_sender(self, peer: int) -> int:
+        """Crash semantics: drop every unacked flight originating at
+        ``peer`` (its retransmit buffer died with it).  Copies already
+        travelling the network are left alone — they physically left
+        the host.  Returns the number of updates wiped."""
+        lost = 0
+        for fid in list(self._flights):
+            flight = self._flights[fid]
+            if flight.batch.sender_peer == peer:
+                lost += len(flight.batch)
+                del self._flights[fid]
+        return lost
+
+    def note_crash(self, peer: int, state_loss: int) -> None:
+        """Record a peer crash and its total volatile-state loss."""
+        self.stats.crashes += 1
+        self.stats.crash_state_loss += state_loss
+        self._obs.crashes.inc()
+        self._obs.state_loss.inc(state_loss)
+
+    def note_reboot_republish(self, staged: int) -> None:
+        """Record a rebooted peer's conservative re-announcements."""
+        self.stats.reboot_republished += staged
+        self._obs.republished.inc(staged)
+
+    def note_stagnation_abort(self) -> None:
+        self.stats.stagnation_aborts += 1
+        self._obs.aborts.inc()
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def diagnose(self, pass_index: int, stagnant_passes: int) -> FaultDiagnostics:
+        """Build the graceful-degradation abort report."""
+        links = dict(self._black_holed)
+        unacked_mass = 0.0
+        for flight in self._flights.values():
+            key = (flight.batch.sender_peer, flight.batch.receiver_peer)
+            links[key] = links.get(key, 0) + len(flight.batch)
+            unacked_mass += sum(abs(u.value) for u in flight.batch)
+        incidence: Dict[int, int] = {}
+        for s, r in links:
+            incidence[s] = incidence.get(s, 0) + 1
+            incidence[r] = incidence.get(r, 0) + 1
+        threshold = max(1, (len(links) + 1) // 2)
+        peers = tuple(sorted(p for p, n in incidence.items() if n >= threshold))
+        return FaultDiagnostics(
+            fired_at_pass=pass_index,
+            stagnant_passes=stagnant_passes,
+            black_holed_links=tuple(sorted(links.items())),
+            black_holed_peers=peers,
+            abandoned_updates=self.stats.abandoned_updates,
+            unacked_updates=self.unacked_updates,
+            undelivered_mass=self._abandoned_mass + unacked_mass,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _attempt(self, pass_index: int, flight: _Flight, live) -> None:
+        """One transmission attempt: consult the plan, deliver or lose."""
+        batch = flight.batch
+        self.pass_attempts += 1
+        flight.next_retry_pass = pass_index + self.config.retry_delay(flight.attempts)
+        if self.plan.link_blocked(pass_index, batch.sender_peer, batch.receiver_peer):
+            self.stats.partition_blocked_sends += 1
+            self._obs.blocked.inc()
+            return
+        fate = self.plan.roll_send(pass_index, batch.sender_peer, batch.receiver_peer)
+        if fate.dropped:
+            self.stats.dropped_updates += len(batch)
+            self._obs.dropped.inc(len(batch))
+            return
+        if fate.duplicated:
+            self.stats.duplicated_updates += len(batch)
+            self._obs.duplicated.inc(len(batch))
+        copies = [fate.delay] + ([fate.duplicate_delay] if fate.duplicated else [])
+        for delay in copies:
+            if delay > 0:
+                self.stats.delayed_updates += len(batch)
+                self._obs.delayed.inc(len(batch))
+                self._delayed.append(
+                    (pass_index + delay, self._delay_seq, flight, flight.attempts)
+                )
+                self._delay_seq += 1
+            else:
+                self._deliver_copy(pass_index, flight, flight.attempts, live)
+
+    def _deliver_copy(self, pass_index: int, flight: _Flight, attempt: int, live) -> None:
+        """One copy of a batch arrives at the receiver's doorstep."""
+        batch = flight.batch
+        if not live[batch.receiver_peer]:
+            # Receiver down (churn or crash): the copy is lost on the
+            # floor; the retry machinery will try again later.
+            return
+        applied = self._deliver(batch)
+        self.pass_delivered += len(batch)
+        self.pass_batches += 1
+        if attempt > 1:
+            self.pass_resent += len(batch)
+        if flight.delivered_once:
+            self.stats.redeliveries_suppressed += len(batch) - applied
+            self._obs.suppressed.inc(len(batch) - applied)
+        flight.delivered_once = True
+        # The receiver acknowledges; the ack can be lost too.
+        still_tracked = flight.fid in self._flights
+        if still_tracked:
+            self.stats.acks_sent += 1
+            self._obs.acks.inc()
+            if self.plan.roll_ack_drop(pass_index):
+                self.stats.acks_dropped += 1
+                self._obs.ack_drops.inc()
+            else:
+                del self._flights[flight.fid]
+
+    def _abandon(self, flight: _Flight) -> None:
+        """Retry budget exhausted: record the black hole and give up."""
+        batch = flight.batch
+        key = (batch.sender_peer, batch.receiver_peer)
+        self._black_holed[key] = self._black_holed.get(key, 0) + len(batch)
+        self.stats.abandoned_updates += len(batch)
+        self._obs.abandoned.inc(len(batch))
+        self._abandoned_mass += sum(abs(u.value) for u in batch)
+        del self._flights[flight.fid]

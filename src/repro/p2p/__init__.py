@@ -25,7 +25,14 @@ from repro.p2p.guid import (
     peer_guid,
     ring_distance,
 )
-from repro.p2p.messages import MESSAGE_SIZE_BYTES, MessageBatch, Outbox, PagerankUpdate
+from repro.p2p.messages import (
+    ACK_SIZE_BYTES,
+    MESSAGE_SIZE_BYTES,
+    BatchAck,
+    MessageBatch,
+    Outbox,
+    PagerankUpdate,
+)
 from repro.p2p.network import DocumentPlacement, P2PNetwork
 from repro.p2p.peer import PassOutcome, Peer
 from repro.p2p.replication import ReplicaRegistry, replicated_message_cost
@@ -59,8 +66,10 @@ __all__ = [
     "IndependentChurn",
     "MarkovChurn",
     "MESSAGE_SIZE_BYTES",
+    "ACK_SIZE_BYTES",
     "PagerankUpdate",
     "MessageBatch",
+    "BatchAck",
     "Outbox",
     "DocumentPlacement",
     "P2PNetwork",

@@ -16,13 +16,20 @@ from typing import Dict, Iterator, List, Tuple
 
 __all__ = [
     "MESSAGE_SIZE_BYTES",
+    "ACK_SIZE_BYTES",
     "PagerankUpdate",
     "MessageBatch",
+    "BatchAck",
     "Outbox",
 ]
 
 #: Bytes per pagerank update message: 128-bit GUID + 64-bit value (§4.6.1).
 MESSAGE_SIZE_BYTES = 24
+
+#: Bytes per batch acknowledgement: a 64-bit flight id plus the 64-bit
+#: sender/receiver pair.  Reliability-layer overhead, never part of the
+#: paper's 24-byte update accounting (docs/PROTOCOL.md §13).
+ACK_SIZE_BYTES = 24
 
 
 @dataclass(frozen=True)
@@ -88,6 +95,26 @@ class MessageBatch:
         return len(self.updates) * MESSAGE_SIZE_BYTES
 
 
+@dataclass(frozen=True)
+class BatchAck:
+    """Receiver's acknowledgement of one delivered batch flight.
+
+    Part of the reliable-delivery layer (:mod:`repro.faults.transport`),
+    not of the paper's protocol: ``flight_id`` is the transport-level
+    transfer id being confirmed.  Acks are priced separately
+    (:data:`ACK_SIZE_BYTES`) and never count toward the paper's update
+    traffic model.
+    """
+
+    flight_id: int
+    sender_peer: int
+    receiver_peer: int
+
+    @property
+    def size_bytes(self) -> int:
+        return ACK_SIZE_BYTES
+
+
 class Outbox:
     """Per-peer staging area that groups updates by destination peer.
 
@@ -113,6 +140,16 @@ class Outbox:
         out = list(self._by_dest.values())
         self._by_dest.clear()
         return out
+
+    def wipe(self) -> int:
+        """Discard everything staged (crash-with-state-loss semantics).
+
+        Returns the number of updates destroyed, for the fault layer's
+        state-loss accounting.
+        """
+        lost = sum(len(b) for b in self._by_dest.values())
+        self._by_dest.clear()
+        return lost
 
     def __len__(self) -> int:
         """Total staged updates across all destinations."""

@@ -126,24 +126,38 @@ class Peer:
             return self.published[doc]
         return self.remote_values.get(doc, self.init_rank)
 
-    def receive(self, update: PagerankUpdate) -> None:
+    def receive(self, update: PagerankUpdate) -> bool:
         """Fold one received update into local knowledge.
 
         Updates carry per-source versions; a reordered older update is
-        discarded rather than overwriting fresher knowledge (the wire
-        provides no ordering guarantee — see
+        discarded rather than overwriting fresher knowledge, and a
+        replayed *equal*-version update (a §3.1 resend, a reliability-
+        layer retransmit, or an adversarial replay) is suppressed
+        without touching state — delivery is idempotent (the wire
+        provides no ordering or at-most-once guarantee — see
         :class:`repro.p2p.messages.PagerankUpdate`).
+
+        Returns True if the update mutated local knowledge, False if it
+        was suppressed as stale or duplicate (the reliable-delivery
+        layer counts suppressions).
         """
         if self.honor_versions:
             held = self._remote_versions.get(update.source_doc, -1)
             if update.version < held:
-                return
+                return False
+            if update.version == held and update.source_doc in self.remote_values:
+                return False
             self._remote_versions[update.source_doc] = update.version
         self.remote_values[update.source_doc] = update.value
+        return True
 
-    def receive_batch(self, updates: Iterable[PagerankUpdate]) -> None:
+    def receive_batch(self, updates: Iterable[PagerankUpdate]) -> int:
+        """Receive many updates; returns how many mutated state."""
+        applied = 0
         for u in updates:
-            self.receive(u)
+            if self.receive(u):
+                applied += 1
+        return applied
 
     # ------------------------------------------------------------------
     def compute_pass(
@@ -293,6 +307,56 @@ class Peer:
         """Total stored updates across destinations (the §3.1 state
         bound: at most the sum of local documents' out-links)."""
         return sum(len(v) for v in self.deferred.values())
+
+    def crash_volatile(self) -> int:
+        """Crash-with-state-loss: wipe the outbox and the §3.1 deferred
+        store (volatile memory), keeping rank/published/version state
+        (persistent storage survives a crash).
+
+        Distinct from a graceful departure, where deferred updates are
+        preserved for resend on return.  Returns the number of updates
+        destroyed, for the fault layer's state-loss accounting.
+        """
+        lost = self.outbox.wipe()
+        lost += self.deferred_count
+        self.deferred.clear()
+        return lost
+
+    def reboot_republish(self, peer_of: np.ndarray) -> int:
+        """Crash recovery: re-announce every local document's persisted
+        published value to its remote consumers.
+
+        A rebooted peer cannot know which of its staged or in-flight
+        sends survived the crash, so it conservatively replays the
+        current value at its *current* publish version.  Receivers that
+        already saw it suppress the equal-version replay (delivery is
+        idempotent — :meth:`receive`); any consumer the crash robbed of
+        an update applies it, healing the permanent staleness a bare
+        wipe would leave.  Returns the number of updates staged.
+        """
+        staged = 0
+        for doc in self.documents:
+            doc = int(doc)
+            version = self._publish_version.get(doc, 0)
+            if version == 0:
+                # Never published past the globally known initial value.
+                continue
+            value = self.published[doc]
+            for target in self.graph.out_links(doc):
+                target = int(target)
+                target_peer = int(peer_of[target])
+                if target_peer != self.peer_id:
+                    self.outbox.stage(
+                        target_peer,
+                        PagerankUpdate(
+                            target_doc=target,
+                            source_doc=doc,
+                            value=value,
+                            version=version,
+                        ),
+                    )
+                    staged += 1
+        return staged
 
     # ------------------------------------------------------------------
     # Document migration (DHT re-homing support)

@@ -24,9 +24,15 @@ from repro._util import check_positive, check_threshold
 from repro.core.convergence import ConvergenceTracker, PassStats, RunReport
 from repro.core.distributed import AvailabilityModel
 from repro.core.pagerank import DEFAULT_DAMPING
+from repro.faults.plan import FaultPlan
+from repro.faults.transport import (
+    ReliabilityConfig,
+    ReliableTransport,
+    StagnationDetector,
+)
 from repro.graphs.linkgraph import LinkGraph
 from repro.obs import get_registry, get_trace_sink
-from repro.p2p.messages import MESSAGE_SIZE_BYTES
+from repro.p2p.messages import MESSAGE_SIZE_BYTES, MessageBatch
 from repro.p2p.network import P2PNetwork
 from repro.p2p.peer import Peer
 from repro.p2p.routing import DeliveryPolicy
@@ -81,6 +87,7 @@ class _SimInstruments:
         "store_depth",
         "residual",
         "live_peers",
+        "dead_passes",
         "pass_timer",
     )
 
@@ -125,6 +132,10 @@ class _SimInstruments:
             "sim.live_peers", unit="peers",
             description="peers present during the latest pass",
         )
+        self.dead_passes = reg.counter(
+            "sim.dead_passes", unit="passes",
+            description="passes skipped because zero peers were live",
+        )
         self.pass_timer = reg.timer(
             "sim.pass_seconds",
             description="wall-clock seconds per protocol-simulator pass",
@@ -155,6 +166,22 @@ class P2PPagerankSimulation:
         that are never simultaneously present can deadlock the
         store-and-resend protocol (see docs/PROTOCOL.md §6).  Requires
         the network's Chord ring.
+    faults:
+        Optional seeded :class:`~repro.faults.plan.FaultPlan`.  When
+        given, every batch transfer goes through the reliable-delivery
+        transport (acks, timeout + exponential-backoff retries,
+        duplicate suppression — docs/PROTOCOL.md §13) and the plan
+        injects drops, duplicates, delays, crashes and partitions.
+        ``None`` (default) keeps the pre-fault lossless code path
+        byte-for-byte.
+    reliability:
+        Ack/retry/backoff parameters for the reliable transport;
+        defaults to :class:`~repro.faults.transport.ReliabilityConfig`
+        when ``faults`` is given.  Only meaningful with ``faults``.
+    stagnation_window:
+        Consecutive quiescent-but-undeliverable passes after which a
+        faulted run aborts with a :class:`~repro.faults.transport.
+        FaultDiagnostics` report instead of spinning to the pass cap.
     """
 
     def __init__(
@@ -167,6 +194,9 @@ class P2PPagerankSimulation:
         init_rank: float = 1.0,
         delivery_policy: Optional[DeliveryPolicy] = None,
         rehoming_after: Optional[int] = None,
+        faults: Optional[FaultPlan] = None,
+        reliability: Optional[ReliabilityConfig] = None,
+        stagnation_window: int = 25,
     ) -> None:
         check_threshold("damping", damping)
         check_threshold("epsilon", epsilon)
@@ -192,6 +222,28 @@ class P2PPagerankSimulation:
             if network.ring is None:
                 raise ValueError("rehoming requires the network's Chord ring")
         self.rehoming_after = rehoming_after
+        if reliability is not None and faults is None:
+            raise ValueError("reliability config requires a fault plan")
+        if faults is not None and rehoming_after is not None:
+            raise ValueError(
+                "fault injection and re-homing are mutually exclusive "
+                "(the reliable transport subsumes store-and-resend)"
+            )
+        if stagnation_window < 1:
+            raise ValueError(
+                f"stagnation_window must be >= 1, got {stagnation_window}"
+            )
+        self.faults = faults
+        self.reliability = (
+            reliability
+            if reliability is not None
+            else (ReliabilityConfig() if faults is not None else None)
+        )
+        self.stagnation_window = int(stagnation_window)
+        #: The reliable transport of the latest faulted run (exposes
+        #: :class:`~repro.faults.transport.FaultStats`); ``None`` until
+        #: a faulted ``run()`` starts.
+        self.transport: Optional[ReliableTransport] = None
         self.traffic = TrafficSummary()
 
         docs_by_peer = network.placement.docs_by_peer()
@@ -215,6 +267,7 @@ class P2PPagerankSimulation:
         max_passes: int = 10_000,
         availability: Optional[AvailabilityModel] = None,
         keep_history: bool = True,
+        max_dead_passes: int = 50,
     ) -> RunReport:
         """Run passes until the strong convergence criterion.
 
@@ -223,16 +276,47 @@ class P2PPagerankSimulation:
         delivered, (2) every present peer recomputes all its documents
         from previously received values, (3) freshly staged updates are
         delivered to present receivers and stored for absent ones.
+
+        With a fault plan attached, steps (1) and (3) instead go
+        through the reliable transport: (1) becomes delayed-copy
+        delivery plus ack-timeout retransmission, (3) submits each
+        batch as a new flight, and a run that goes quiescent while
+        undeliverable updates remain aborts with a
+        :class:`~repro.faults.transport.FaultDiagnostics` report on the
+        returned :class:`~repro.core.convergence.RunReport`.
+
+        A pass whose availability sample has *zero* live peers is
+        skipped (counted, never evaluated for convergence);
+        ``max_dead_passes`` consecutive dead passes raise a
+        ``RuntimeError`` rather than silently stalling to the cap.
         """
         if max_passes < 1:
             raise ValueError(f"max_passes must be >= 1, got {max_passes}")
+        if max_dead_passes < 1:
+            raise ValueError(
+                f"max_dead_passes must be >= 1, got {max_dead_passes}"
+            )
         tracker = ConvergenceTracker(self.epsilon, keep_history=keep_history)
         num_peers = self.network.num_peers
 
         reg = get_registry()
         sink = get_trace_sink()
         obs = _SimInstruments(reg)
+        faulted = self.faults is not None
+        transport: Optional[ReliableTransport] = None
+        detector: Optional[StagnationDetector] = None
+        crash_down = None
+        if faulted:
+            transport = ReliableTransport(
+                self.faults, self.reliability, self._fault_deliver, registry=reg
+            )
+            self.transport = transport
+            detector = StagnationDetector(self.stagnation_window)
+            crash_down = np.zeros(num_peers, dtype=np.int64)
+            needs_republish: Set[int] = set()
         converged = False
+        diagnostics = None
+        dead_streak = 0
         with sink.span(
             "sim.run", documents=self.graph.num_nodes, peers=num_peers,
             epsilon=self.epsilon,
@@ -246,6 +330,64 @@ class P2PPagerankSimulation:
                         raise ValueError(
                             f"availability.sample must return shape ({num_peers},)"
                         )
+                if faulted:
+                    # Crash-with-state-loss: wipe volatile queues and the
+                    # retransmit buffer; the peer reboots after a spell.
+                    for p in self.faults.crashes_at(t):
+                        lost = self.peers[p].crash_volatile()
+                        lost += transport.wipe_sender(p)
+                        transport.note_crash(p, lost)
+                        crash_down[p] = self.faults.spec.crash_down_passes
+                        needs_republish.add(p)
+                    if crash_down.any():
+                        live = live & (crash_down <= 0)
+                        np.subtract(
+                            crash_down, 1, out=crash_down, where=crash_down > 0
+                        )
+                    # Crash recovery: a rebooted peer cannot know which
+                    # of its sends died with it, so it re-announces its
+                    # persisted published values (equal-version replays
+                    # are idempotent at receivers).
+                    for p in sorted(needs_republish):
+                        if crash_down[p] == 0 and live[p]:
+                            staged = self.peers[p].reboot_republish(self._peer_of)
+                            transport.note_reboot_republish(staged)
+                            needs_republish.discard(p)
+
+                if not live.any():
+                    # All peers down: nothing can compute or exchange —
+                    # skip the pass rather than evaluating (and trivially
+                    # satisfying) the convergence criterion.
+                    dead_streak += 1
+                    deferred_now = (
+                        transport.unacked_updates
+                        if faulted
+                        else sum(p.deferred_count for p in self.peers)
+                    )
+                    obs.passes.inc()
+                    obs.dead_passes.inc()
+                    obs.live_peers.set(0)
+                    tracker.record(
+                        PassStats(
+                            pass_index=t,
+                            max_rel_change=0.0,
+                            active_documents=0,
+                            messages=0,
+                            deferred_messages=deferred_now,
+                            live_peers=0,
+                            computed_documents=0,
+                        )
+                    )
+                    if dead_streak >= max_dead_passes:
+                        raise RuntimeError(
+                            f"no live peers for {dead_streak} consecutive "
+                            f"passes (pass {t}); the availability model "
+                            "starves the computation — raise availability or "
+                            "max_dead_passes"
+                        )
+                    continue
+                dead_streak = 0
+
                 batches_before = self.traffic.network_batches
                 hops_before = self.traffic.routing_hops
                 migrations_before = self.traffic.migrations
@@ -257,8 +399,14 @@ class P2PPagerankSimulation:
                         self._absence[~live] += 1
                         self._rehome(live)
 
-                    # (1) store-and-resend deliveries
-                    resent = self._deliver_deferred(live)
+                    # (1) store-and-resend deliveries (reliable transport:
+                    #     due delayed copies + ack-timeout retransmits)
+                    if faulted:
+                        transport.begin_pass(t)
+                        transport.tick(t, live)
+                        resent = transport.pass_resent
+                    else:
+                        resent = self._deliver_deferred(live)
 
                     # (2) concurrent recompute on live peers
                     active = 0
@@ -287,16 +435,30 @@ class P2PPagerankSimulation:
                             if int(self._peer_of[int(target)]) == owner:
                                 self._dirty.add(int(target))
 
-                    # (3) drain outboxes: deliver or defer
-                    delivered = self._deliver_outboxes(live)
+                    # (3) drain outboxes: deliver or defer (reliable
+                    #     transport: submit each batch as a new flight)
+                    if faulted:
+                        for peer in self.peers:
+                            if not live[peer.peer_id]:
+                                continue
+                            for batch in peer.outbox.batches():
+                                transport.send(t, batch, live)
+                        messages = transport.pass_delivered
+                        resent = transport.pass_resent
+                    else:
+                        delivered = self._deliver_outboxes(live)
+                        messages = delivered + resent
 
-                messages = delivered + resent
                 self.traffic.update_messages += messages
                 self.traffic.resent_messages += resent
                 self.traffic.bytes_transferred = (
                     self.traffic.update_messages * MESSAGE_SIZE_BYTES
                 )
-                deferred_now = sum(p.deferred_count for p in self.peers)
+                deferred_now = (
+                    transport.unacked_updates
+                    if faulted
+                    else sum(p.deferred_count for p in self.peers)
+                )
                 n_live = int(live.sum())
 
                 obs.passes.inc()
@@ -327,10 +489,45 @@ class P2PPagerankSimulation:
                         computed_documents=computed,
                     )
                 )
-                if active == 0 and deferred_now == 0 and not self._dirty:
+                if faulted:
+                    # Abandoned (budget-exhausted) updates will never
+                    # arrive: strong convergence must not be certified
+                    # over them, and a quiescent system that still owes
+                    # undeliverable updates is stagnant, not converging.
+                    quiescent = active == 0 and not self._dirty
+                    if (
+                        quiescent
+                        and transport.undeliverable_updates == 0
+                        and deferred_now == 0
+                    ):
+                        converged = True
+                        break
+                    if detector.observe(
+                        quiescent=quiescent,
+                        undelivered=transport.undeliverable_updates,
+                        delivered_this_pass=messages,
+                        attempts_this_pass=transport.pass_attempts,
+                    ):
+                        transport.note_stagnation_abort()
+                        diagnostics = transport.diagnose(t, detector.streak)
+                        break
+                elif active == 0 and deferred_now == 0 and not self._dirty:
                     converged = True
                     break
-        return tracker.finish(self.ranks(), converged)
+        return tracker.finish(self.ranks(), converged, diagnostics)
+
+    # ------------------------------------------------------------------
+    def _fault_deliver(self, batch: MessageBatch) -> int:
+        """Reliable-transport delivery callback: hand a batch to its
+        receiver, mirroring the lossless path's bookkeeping (dirty
+        marking, hop charges, batch count).  Returns how many updates
+        mutated receiver state (duplicates are suppressed by the
+        per-source version dedup)."""
+        applied = self.peers[batch.receiver_peer].receive_batch(batch.updates)
+        self._mark_dirty(batch.updates)
+        self._charge_hops(batch.sender_peer, batch.updates)
+        self.traffic.network_batches += 1
+        return applied
 
     # ------------------------------------------------------------------
     def ranks(self) -> np.ndarray:

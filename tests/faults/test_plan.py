@@ -1,0 +1,123 @@
+"""Unit tests of the seeded fault oracle (repro.faults.plan)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan, FaultSpec, Partition
+
+
+class TestFaultSpecValidation:
+    def test_defaults_inject_nothing(self):
+        assert not FaultSpec().injects_anything
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(duplicate_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(delay_rate=2.0)
+        with pytest.raises(ValueError):
+            FaultSpec(ack_drop_rate=1.01)
+
+    def test_crash_schedule_validated(self):
+        with pytest.raises(ValueError):
+            FaultSpec(crashes=((-1, 0),))
+        with pytest.raises(ValueError):
+            FaultSpec(crashes=((0, -2),))
+        with pytest.raises(ValueError):
+            FaultSpec(crashes=((0, 0),), crash_down_passes=0)
+
+    def test_ack_drop_rate_mirrors_drop_rate(self):
+        assert FaultSpec(drop_rate=0.3).effective_ack_drop_rate == 0.3
+        assert FaultSpec(drop_rate=0.3, ack_drop_rate=0.1).effective_ack_drop_rate == 0.1
+
+    def test_any_single_fault_counts(self):
+        assert FaultSpec(drop_rate=0.1).injects_anything
+        assert FaultSpec(crashes=((2, 1),)).injects_anything
+        assert FaultSpec(partitions=(Partition(peer_a=0),)).injects_anything
+
+
+class TestPartition:
+    def test_window(self):
+        p = Partition(peer_a=1, peer_b=2, start_pass=3, end_pass=6)
+        assert not p.active(2)
+        assert p.active(3) and p.active(5)
+        assert not p.active(6)
+
+    def test_open_ended(self):
+        p = Partition(peer_a=1)
+        assert p.active(0) and p.active(10_000)
+
+    def test_pairwise_blocks_both_directions(self):
+        p = Partition(peer_a=1, peer_b=2)
+        assert p.blocks(0, 1, 2) and p.blocks(0, 2, 1)
+        assert not p.blocks(0, 1, 3)
+
+    def test_black_hole_blocks_everything_incident(self):
+        p = Partition(peer_a=4)
+        assert p.blocks(0, 4, 9) and p.blocks(0, 9, 4)
+        assert not p.blocks(0, 2, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Partition(peer_a=-1)
+        with pytest.raises(ValueError):
+            Partition(peer_a=0, peer_b=0)
+        with pytest.raises(ValueError):
+            Partition(peer_a=0, start_pass=5, end_pass=5)
+
+
+class TestFaultPlan:
+    def test_same_seed_same_fates(self):
+        spec = FaultSpec(drop_rate=0.3, duplicate_rate=0.2, delay_rate=0.2)
+        a = FaultPlan(spec, seed=42)
+        b = FaultPlan(spec, seed=42)
+        fates_a = [a.roll_send(t, 0, 1) for t in range(200)]
+        fates_b = [b.roll_send(t, 0, 1) for t in range(200)]
+        assert fates_a == fates_b
+
+    def test_different_seeds_differ(self):
+        spec = FaultSpec(drop_rate=0.5)
+        a = FaultPlan(spec, seed=1)
+        b = FaultPlan(spec, seed=2)
+        assert [a.roll_send(t, 0, 1).dropped for t in range(100)] != [
+            b.roll_send(t, 0, 1).dropped for t in range(100)
+        ]
+
+    def test_clean_plan_never_touches_rng(self):
+        plan = FaultPlan(seed=7)
+        before = plan._rng.bit_generator.state
+        for t in range(50):
+            fate = plan.roll_send(t, 0, 1)
+            assert not fate.dropped and not fate.duplicated and fate.delay == 0
+        assert plan.edge_delivery_mask(0, 1000).all()
+        assert not plan.roll_ack_drop(0)
+        assert plan._rng.bit_generator.state == before
+
+    def test_crash_schedule_lookup(self):
+        plan = FaultPlan(FaultSpec(crashes=((3, 1), (3, 4), (7, 2))), seed=0)
+        assert plan.crashes_at(3) == (1, 4)
+        assert plan.crashes_at(7) == (2,)
+        assert plan.crashes_at(5) == ()
+
+    def test_edge_delivery_mask_rate(self):
+        plan = FaultPlan(FaultSpec(drop_rate=0.25), seed=3)
+        mask = plan.edge_delivery_mask(0, 40_000)
+        assert mask.dtype == bool and mask.size == 40_000
+        assert 0.70 < mask.mean() < 0.80
+
+    def test_link_blocked_respects_window(self):
+        plan = FaultPlan(
+            FaultSpec(partitions=(Partition(peer_a=0, peer_b=1, start_pass=2, end_pass=4),)),
+            seed=0,
+        )
+        assert not plan.link_blocked(1, 0, 1)
+        assert plan.link_blocked(2, 0, 1)
+        assert plan.link_blocked(3, 1, 0)
+        assert not plan.link_blocked(4, 0, 1)
+
+    def test_drop_rate_statistics(self):
+        plan = FaultPlan(FaultSpec(drop_rate=0.2), seed=9)
+        drops = sum(plan.roll_send(0, 0, 1).dropped for _ in range(10_000))
+        assert 1_700 < drops < 2_300

@@ -1,0 +1,108 @@
+"""All-peers-down passes: skipped, counted, and capped in both engines."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.distributed import ChaoticPagerank
+from repro.graphs import gnp_random_graph
+from repro.p2p import DocumentPlacement, P2PNetwork
+from repro.simulation.engine import P2PPagerankSimulation
+
+DOCS = 60
+PEERS = 6
+
+
+class Blackout:
+    """All peers down for the first ``dark`` passes, everyone up after."""
+
+    def __init__(self, num_peers, dark):
+        self.num_peers = num_peers
+        self.dark = dark
+
+    def sample(self, t):
+        if t < self.dark:
+            return np.zeros(self.num_peers, dtype=bool)
+        return np.ones(self.num_peers, dtype=bool)
+
+
+class PermanentBlackout:
+    def __init__(self, num_peers):
+        self.num_peers = num_peers
+
+    def sample(self, t):
+        return np.zeros(self.num_peers, dtype=bool)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return gnp_random_graph(DOCS, 0.1, seed=2)
+
+
+def make_net():
+    placement = DocumentPlacement.random(DOCS, PEERS, seed=1)
+    return P2PNetwork(PEERS, placement, build_ring=False)
+
+
+class TestSimulatorDeadPasses:
+    def test_blackout_is_skipped_not_converged(self, graph):
+        # Three dead passes must not trick the quiescence check into
+        # declaring convergence; the run resumes and finishes normally.
+        with obs.use_registry() as reg:
+            report = P2PPagerankSimulation(graph, make_net(), epsilon=1e-3).run(
+                availability=Blackout(PEERS, dark=3)
+            )
+            snap = reg.snapshot()
+        assert report.converged
+        assert report.passes > 3
+        assert snap["sim.dead_passes"]["value"] == 3
+        dead = [s for s in report.history if s.live_peers == 0]
+        assert len(dead) == 3
+        assert all(s.messages == 0 and s.computed_documents == 0 for s in dead)
+
+    def test_permanent_blackout_raises_at_cap(self, graph):
+        sim = P2PPagerankSimulation(graph, make_net(), epsilon=1e-3)
+        with pytest.raises(RuntimeError, match="no live peers for 5 consecutive"):
+            sim.run(availability=PermanentBlackout(PEERS), max_dead_passes=5)
+
+    def test_max_dead_passes_validated(self, graph):
+        sim = P2PPagerankSimulation(graph, make_net(), epsilon=1e-3)
+        with pytest.raises(ValueError, match="max_dead_passes"):
+            sim.run(availability=Blackout(PEERS, dark=1), max_dead_passes=0)
+
+
+class TestVectorizedDeadPasses:
+    def test_blackout_is_skipped_not_converged(self, graph):
+        assign = DocumentPlacement.random(DOCS, PEERS, seed=1).assignment
+        with obs.use_registry() as reg:
+            report = ChaoticPagerank(graph, assign, epsilon=1e-4).run(
+                availability=Blackout(PEERS, dark=4)
+            )
+            snap = reg.snapshot()
+        assert report.converged
+        assert report.passes > 4
+        assert snap["core.dead_passes"]["value"] == 4
+        dead = [s for s in report.history if s.live_peers == 0]
+        assert len(dead) == 4
+        assert all(s.messages == 0 for s in dead)
+
+    def test_blackout_matches_always_up_result(self, graph):
+        # Dead passes delay the run but must not change the fixed point.
+        assign = DocumentPlacement.random(DOCS, PEERS, seed=1).assignment
+        base = ChaoticPagerank(graph, assign, epsilon=1e-4).run()
+        delayed = ChaoticPagerank(graph, assign, epsilon=1e-4).run(
+            availability=Blackout(PEERS, dark=2)
+        )
+        assert np.array_equal(base.ranks, delayed.ranks)
+
+    def test_permanent_blackout_raises_at_cap(self, graph):
+        assign = DocumentPlacement.random(DOCS, PEERS, seed=1).assignment
+        engine = ChaoticPagerank(graph, assign, epsilon=1e-4)
+        with pytest.raises(RuntimeError, match="no live peers for 4 consecutive"):
+            engine.run(availability=PermanentBlackout(PEERS), max_dead_passes=4)
+
+    def test_max_dead_passes_validated(self, graph):
+        assign = DocumentPlacement.random(DOCS, PEERS, seed=1).assignment
+        engine = ChaoticPagerank(graph, assign, epsilon=1e-4)
+        with pytest.raises(ValueError, match="max_dead_passes"):
+            engine.run(availability=Blackout(PEERS, dark=1), max_dead_passes=0)

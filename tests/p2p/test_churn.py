@@ -1,0 +1,126 @@
+"""Churn-model edge cases (availability models in repro.p2p.churn)."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.p2p import AlwaysOn, FixedFractionChurn, IndependentChurn, MarkovChurn
+
+
+class TestFixedFractionEdges:
+    def test_fraction_zero_rejected(self):
+        # Zero availability is not a churn model, it is a dead network;
+        # the constructor must refuse rather than emit empty masks.
+        with pytest.raises(ValueError):
+            FixedFractionChurn(10, 0.0, seed=0)
+
+    def test_fraction_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            FixedFractionChurn(10, 1.5, seed=0)
+
+    def test_fraction_one_everyone_present(self):
+        churn = FixedFractionChurn(10, 1.0, seed=0)
+        for t in range(5):
+            assert churn.sample(t).all()
+
+    def test_tiny_fraction_keeps_at_least_one_peer(self):
+        churn = FixedFractionChurn(100, 0.001, seed=0)
+        for t in range(5):
+            assert int(churn.sample(t).sum()) == 1
+
+    def test_exact_count_every_pass(self):
+        churn = FixedFractionChurn(40, 0.75, seed=1)
+        for t in range(10):
+            assert int(churn.sample(t).sum()) == 30
+
+
+class TestMarkovStationarity:
+    def test_long_run_occupancy_matches_stationary(self):
+        # Two-state chain with p_leave=0.1, p_join=0.3 has stationary
+        # availability 0.75; long-run average occupancy must match it.
+        churn = MarkovChurn(200, p_leave=0.1, p_join=0.3, seed=5)
+        assert churn.stationary_availability == pytest.approx(0.75)
+        burn_in, horizon = 100, 2_000
+        total = 0
+        for t in range(burn_in + horizon):
+            mask = churn.sample(t)
+            if t >= burn_in:
+                total += int(mask.sum())
+        occupancy = total / (horizon * 200)
+        assert occupancy == pytest.approx(0.75, abs=0.02)
+
+    def test_start_down_converges_to_same_stationary(self):
+        churn = MarkovChurn(200, p_leave=0.2, p_join=0.2, seed=8, start_up=False)
+        burn_in, horizon = 200, 2_000
+        total = 0
+        for t in range(burn_in + horizon):
+            mask = churn.sample(t)
+            if t >= burn_in:
+                total += int(mask.sum())
+        assert total / (horizon * 200) == pytest.approx(0.5, abs=0.03)
+
+    def test_zero_join_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovChurn(10, p_leave=0.1, p_join=0.0, seed=0)
+
+
+class TestChurnObserverAcrossMaskSizes:
+    def test_absence_spells_survive_same_size_stream(self):
+        # Peer 1 absent for exactly 3 passes, then returns: one spell
+        # of length 3 must be recorded.
+        class Scripted:
+            def __init__(self, masks):
+                self.masks = masks
+                from repro.p2p.churn import _ChurnObserver
+
+                self._observer = _ChurnObserver()
+
+            def sample(self, t):
+                return self._observer.observe(self.masks[t])
+
+        up = np.array([True, True, True])
+        down1 = np.array([True, False, True])
+        model = Scripted([up, down1, down1, down1, up, up])
+        with obs.use_registry() as reg:
+            for t in range(6):
+                model.sample(t)
+            snap = reg.snapshot()
+        assert snap["p2p.churn.departures"]["value"] == 1
+        assert snap["p2p.churn.rejoins"]["value"] == 1
+        assert snap["p2p.churn.absence_passes"]["count"] == 1
+        assert snap["p2p.churn.absence_passes"]["max"] == 3
+
+    def test_mask_size_change_resets_cleanly(self):
+        # A population change (peer joined the network) mid-stream must
+        # reset the spell accounting, not crash or misattribute spells.
+        from repro.p2p.churn import _ChurnObserver
+
+        observer = _ChurnObserver()
+        with obs.use_registry() as reg:
+            observer.observe(np.array([True, False]))
+            observer.observe(np.array([True, False]))
+            # Population grows: absence state for the old indices is
+            # discarded — no spell may be emitted for old peer 1.
+            observer.observe(np.array([True, True, True]))
+            observer.observe(np.array([True, False, True]))
+            observer.observe(np.array([True, True, True]))
+            snap = reg.snapshot()
+        # Only the post-resize spell (length 1, peer 1) is recorded.
+        assert snap["p2p.churn.absence_passes"]["count"] == 1
+        assert snap["p2p.churn.absence_passes"]["max"] == 1
+        # Samples keep counting across the resize.
+        assert snap["p2p.churn.samples"]["value"] == 5
+
+    def test_disabled_registry_is_passthrough(self):
+        churn = IndependentChurn(50, 0.5, seed=3)
+        masks = [churn.sample(t) for t in range(5)]
+        assert all(m.shape == (50,) for m in masks)
+
+    def test_always_on_never_departs(self):
+        model = AlwaysOn(4)
+        with obs.use_registry() as reg:
+            for t in range(5):
+                assert model.sample(t).all()
+            snap = reg.snapshot()
+        assert snap["p2p.churn.samples"]["value"] == 5
+        assert "p2p.churn.departures" not in snap

@@ -126,3 +126,112 @@ class TestDeferral:
         a.defer(1, [PagerankUpdate(3, 0, 1.0)])
         a.defer(1, [PagerankUpdate(5, 2, 1.0)])
         assert a.deferred_count == 2
+
+
+class TestReceiveIdempotence:
+    """Satellite: delivery must be idempotent under replay/reorder."""
+
+    def test_newer_version_applies(self, setup):
+        _, _, a, _ = setup
+        assert a.receive(PagerankUpdate(0, 3, 2.0, version=1))
+        assert a.receive(PagerankUpdate(0, 3, 3.0, version=2))
+        assert a.visible_value(3) == 3.0
+
+    def test_older_version_rejected(self, setup):
+        _, _, a, _ = setup
+        a.receive(PagerankUpdate(0, 3, 3.0, version=2))
+        assert not a.receive(PagerankUpdate(0, 3, 2.0, version=1))
+        assert a.visible_value(3) == 3.0
+
+    def test_equal_version_replay_does_not_mutate(self, setup):
+        # A retransmitted copy carries the same version; even if the
+        # payload was corrupted or adversarially altered, the replay
+        # must not touch state.
+        _, _, a, _ = setup
+        assert a.receive(PagerankUpdate(0, 3, 2.0, version=1))
+        assert not a.receive(PagerankUpdate(0, 3, 99.0, version=1))
+        assert a.visible_value(3) == 2.0
+        assert a._remote_versions[3] == 1
+
+    def test_equal_version_first_contact_applies(self, setup):
+        # Version numbers start at whatever the sender says; the guard
+        # must not suppress the first value ever seen for a source.
+        _, _, a, _ = setup
+        assert a.receive(PagerankUpdate(0, 3, 2.0, version=0))
+        assert a.visible_value(3) == 2.0
+
+    def test_out_of_order_plus_duplicates_idempotent(self, setup):
+        # The same update stream, shuffled and with every message
+        # duplicated, must land in the same final state as the clean
+        # in-order stream.
+        _, _, a, b = setup
+        stream = [
+            PagerankUpdate(0, 3, 1.5, version=1),
+            PagerankUpdate(0, 3, 1.8, version=2),
+            PagerankUpdate(0, 4, 0.7, version=1),
+            PagerankUpdate(0, 3, 2.2, version=3),
+            PagerankUpdate(0, 4, 0.9, version=2),
+        ]
+        for u in stream:
+            a.receive(u)
+        clean = dict(a.remote_values)
+
+        shuffled = [
+            stream[3], stream[3], stream[0], stream[4], stream[1],
+            stream[4], stream[2], stream[0], stream[2], stream[1],
+        ]
+        for u in shuffled:
+            b.receive(u)
+        assert b.remote_values == clean
+
+    def test_receive_batch_counts_applied(self, setup):
+        _, _, a, _ = setup
+        batch = [
+            PagerankUpdate(0, 3, 1.5, version=1),
+            PagerankUpdate(0, 3, 1.5, version=1),  # duplicate
+            PagerankUpdate(0, 4, 0.7, version=1),
+        ]
+        assert a.receive_batch(batch) == 2
+
+    def test_unversioned_mode_still_accepts_everything(self):
+        g = two_peer_example()
+        p = Peer(0, [0, 1, 2], g, honor_versions=False)
+        assert p.receive(PagerankUpdate(0, 3, 2.0, version=5))
+        assert p.receive(PagerankUpdate(0, 3, 1.0, version=1))
+        assert p.visible_value(3) == 1.0
+
+
+class TestCrashVolatile:
+    def test_crash_wipes_outbox_and_deferred_keeps_ranks(self, setup):
+        g, peer_of, a, _ = setup
+        a.receive(PagerankUpdate(0, 3, 5.0, version=1))
+        a.compute_pass(0.85, 1e-3, peer_of)
+        a.defer(1, [PagerankUpdate(3, 0, 1.5)])
+        staged = len(a.outbox)
+        assert staged > 0
+        ranks_before = dict(a.rank)
+        published_before = dict(a.published)
+        lost = a.crash_volatile()
+        assert lost == staged + 1
+        assert len(a.outbox) == 0 and a.deferred_count == 0
+        assert a.rank == ranks_before
+        assert a.published == published_before
+
+    def test_reboot_republish_restages_published_values(self, setup):
+        g, peer_of, a, _ = setup
+        a.receive(PagerankUpdate(0, 3, 5.0, version=1))
+        a.compute_pass(0.85, 1e-3, peer_of)
+        a.crash_volatile()
+        staged = a.reboot_republish(peer_of)
+        assert staged > 0
+        batches = a.outbox.batches()
+        for batch in batches:
+            for u in batch:
+                # Replays carry the *current* publish version so
+                # receivers that saw the original suppress them.
+                assert u.version == a._publish_version[u.source_doc]
+                assert u.value == a.published[u.source_doc]
+
+    def test_reboot_republish_nothing_if_never_published(self, setup):
+        _, peer_of, a, _ = setup
+        assert a.reboot_republish(peer_of) == 0

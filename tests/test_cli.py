@@ -63,3 +63,20 @@ class TestCommands:
         ])
         assert code == 0
         assert "Table 5" in capsys.readouterr().out
+
+    def test_faults_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.docs == 200
+        assert args.peers == 16
+        assert args.loss_rates == [0.0, 0.01, 0.05, 0.20]
+        assert args.duplicate_rate == 0.02
+
+    def test_faults_small(self, capsys):
+        code = main([
+            "faults", "--docs", "80", "--peers", "6",
+            "--loss-rates", "0.0", "0.2", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Convergence under injected faults" in out
+        assert "20%" in out
