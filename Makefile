@@ -2,13 +2,26 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples obs-demo clean
+.PHONY: install test lint typecheck bench bench-full examples obs-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Repo-specific invariant checks (docs/STATIC_ANALYSIS.md) always run;
+# ruff rides along when installed (the offline container lacks it).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro lint
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; \
+	then ruff check src tests; \
+	else echo "ruff not installed; skipped (CI runs it)"; fi
+
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; \
+	then $(PYTHON) -m mypy src/repro; \
+	else echo "mypy not installed; skipped (CI runs it)"; fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

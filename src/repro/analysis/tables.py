@@ -31,7 +31,8 @@ def format_value(value, *, precision: int = 3) -> str:
     if isinstance(value, int):
         return f"{value:,}"
     if isinstance(value, float):
-        if value == 0.0:
+        # Exact-zero display sentinel: only a true 0.0 renders as "0".
+        if value == 0.0:  # repro: noqa[FLT001]
             return "0"
         a = abs(value)
         if a >= 1e5 or a < 1e-3:

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the library's main entry points without writing
+Eight commands cover the library's main entry points without writing
 any Python:
 
 ``pagerank``
@@ -25,6 +25,11 @@ any Python:
     table or JSON — see docs/OBSERVABILITY.md for the metric
     catalogue.  ``--trace`` additionally captures a JSON-lines event
     trace.
+``lint``
+    Run the repository's AST-based invariant checkers (determinism,
+    protocol/doc lockstep, metric catalogue, API surface, float
+    safety) — see docs/STATIC_ANALYSIS.md for the rule catalogue.
+    Exit code 1 when findings survive suppressions and the baseline.
 
 All commands accept ``--seed`` and print plain-text tables; exit code
 0 on success.
@@ -118,6 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the snapshot as JSON instead of a table")
     orep.add_argument("--trace", type=str, default=None,
                       help="also write a JSON-lines event trace to this file")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's static invariant checkers (docs/STATIC_ANALYSIS.md)",
+    )
+    from repro.lint.cli import configure_parser as _configure_lint_parser
+
+    _configure_lint_parser(lint)
     return parser
 
 
@@ -358,6 +371,12 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.lint.cli import run as run_lint
+
+    return run_lint(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -369,6 +388,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "search": _cmd_search,
         "faults": _cmd_faults,
         "obs": _cmd_obs,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

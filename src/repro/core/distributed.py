@@ -34,17 +34,21 @@ counts.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol, runtime_checkable
+from typing import Callable, List, Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro._util import check_positive, check_threshold
 from repro.core.convergence import ConvergenceTracker, PassStats, RunReport
-from repro.faults.plan import FaultPlan
-from repro.obs import get_registry, get_trace_sink
 from repro.core.kernels import EdgeWorkspace, relative_change
 from repro.core.pagerank import DEFAULT_DAMPING
+from repro.faults.plan import FaultPlan
 from repro.graphs.linkgraph import LinkGraph
+from repro.obs import MetricsRegistry, get_registry, get_trace_sink
+
+#: Per-pass observer: called as ``on_pass(pass_index, ranks)`` with a
+#: read-only view of the rank vector after each completed pass.
+PassObserver = Callable[[int, np.ndarray], None]
 
 __all__ = [
     "ChaoticPagerank",
@@ -78,7 +82,7 @@ class _CoreInstruments:
         "pass_timer",
     )
 
-    def __init__(self, reg) -> None:
+    def __init__(self, reg: MetricsRegistry) -> None:
         self.passes = reg.counter(
             "core.passes", unit="passes",
             description="engine passes executed (Table 1 x-axis)",
@@ -240,7 +244,7 @@ class ChaoticPagerank:
         availability: Optional[AvailabilityModel] = None,
         initial_ranks: Optional[np.ndarray] = None,
         keep_history: bool = True,
-        on_pass=None,
+        on_pass: Optional[PassObserver] = None,
         fault_plan: Optional[FaultPlan] = None,
         max_dead_passes: int = 50,
     ) -> RunReport:
@@ -315,7 +319,7 @@ class ChaoticPagerank:
         max_passes: int,
         initial_ranks: Optional[np.ndarray],
         keep_history: bool,
-        on_pass=None,
+        on_pass: Optional[PassObserver] = None,
     ) -> RunReport:
         n = self.graph.num_nodes
         ws = self.workspace
@@ -385,7 +389,7 @@ class ChaoticPagerank:
         availability: AvailabilityModel,
         initial_ranks: Optional[np.ndarray],
         keep_history: bool,
-        on_pass=None,
+        on_pass: Optional[PassObserver] = None,
         *,
         fault_plan: Optional[FaultPlan] = None,
         max_dead_passes: int = 50,
@@ -596,7 +600,7 @@ def scheduled_pagerank(
     graph: LinkGraph,
     assignment: Optional[np.ndarray] = None,
     *,
-    schedule=(1e-2, 1e-4),
+    schedule: Sequence[float] = (1e-2, 1e-4),
     num_peers: Optional[int] = None,
     damping: float = DEFAULT_DAMPING,
     max_passes: int = 100_000,
@@ -634,7 +638,7 @@ def scheduled_pagerank(
     ranks: Optional[np.ndarray] = None
     total_messages = 0
     total_passes = 0
-    history: list = []
+    history: List[PassStats] = []
     converged = False
     for eps in schedule:
         engine = ChaoticPagerank(

@@ -1,0 +1,70 @@
+"""repro.lint — AST-based invariant checking for this repository.
+
+A small checker-plugin framework (``repro lint`` on the command line,
+``make lint``, a required CI job) that enforces the reproduction's
+*own* invariants statically: seeded-RNG-only determinism, protocol
+tables in lockstep with the message dataclasses, the metric catalogue
+in lockstep with the emission sites, truthful ``__all__``/API docs,
+and tolerance-based float comparison in convergence paths.
+
+Rule catalogue, suppression syntax (``# repro: noqa[RULE]``) and the
+how-to-add-a-checker guide live in ``docs/STATIC_ANALYSIS.md``.
+
+>>> from pathlib import Path
+>>> from repro.lint import FileContext, all_rules
+>>> ctx = FileContext.from_source(Path("x.py"), "import random\\nrandom.random()\\n")
+>>> sorted(r.id for r in all_rules())[0]
+'API001'
+"""
+
+from repro.lint.base import (
+    Checker,
+    FileContext,
+    ProjectContext,
+    all_checkers,
+    all_rules,
+    module_name_for,
+    register,
+    rule_by_id,
+)
+from repro.lint.engine import (
+    PARSE_RULE,
+    LintResult,
+    collect_files,
+    lint_paths,
+)
+from repro.lint.findings import (
+    SCHEMA_VERSION,
+    Baseline,
+    BaselineEntry,
+    Finding,
+    Rule,
+    Severity,
+    findings_from_json,
+    findings_to_json,
+    sort_findings,
+)
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "ProjectContext",
+    "all_checkers",
+    "all_rules",
+    "module_name_for",
+    "register",
+    "rule_by_id",
+    "PARSE_RULE",
+    "LintResult",
+    "collect_files",
+    "lint_paths",
+    "SCHEMA_VERSION",
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "Rule",
+    "Severity",
+    "findings_from_json",
+    "findings_to_json",
+    "sort_findings",
+]

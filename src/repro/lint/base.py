@@ -1,0 +1,230 @@
+"""Checker plugin architecture: contexts, base class, rule registry.
+
+Two checker scopes exist:
+
+* **file** — sees one parsed module at a time (:class:`FileContext`);
+  determinism and float-safety rules live here.
+* **project** — sees every linted module plus the repo's ``docs/``
+  tree (:class:`ProjectContext`); the cross-file conformance rules
+  (protocol tables, metric catalogue, API docs) live here and only run
+  on full-tree lints, where their universe of emission/definition
+  sites is actually complete.
+
+Checkers self-register via the :func:`register` decorator at import
+time (:mod:`repro.lint.checkers` imports every checker module), so the
+engine, the CLI's ``--list-rules``, and the docs-lockstep test all see
+one authoritative rule set.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Type
+
+from repro.lint.findings import Finding, Rule
+
+__all__ = [
+    "module_name_for",
+    "FileContext",
+    "ProjectContext",
+    "Checker",
+    "register",
+    "all_checkers",
+    "all_rules",
+    "rule_by_id",
+]
+
+#: ``# repro: noqa`` (all rules) or ``# repro: noqa[DET001,FLT002]``.
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+
+def _parse_noqa(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-based line number -> suppressed rule ids (None = all)."""
+    out: Dict[int, Optional[Set[str]]] = {}
+    for i, line in enumerate(lines, start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[i] = None
+        else:
+            out[i] = {r.strip().upper() for r in m.group(1).split(",") if r.strip()}
+    return out
+
+
+def module_name_for(path: Path) -> str:
+    """Best-effort dotted module name for ``path``.
+
+    Uses the *last* ``repro`` component in the path, so it works from
+    any checkout location (``src/repro/core/pagerank.py`` →
+    ``repro.core.pagerank``).  Files outside a ``repro`` tree fall back
+    to their stem, which keeps the file-scope rules usable on loose
+    fixture files.
+    """
+    parts = list(path.parts)
+    name = path.stem
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = parts[idx:-1] + ([] if name == "__init__" else [name])
+        return ".".join(dotted)
+    return name
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus its suppression map."""
+
+    path: Path
+    source: str
+    tree: ast.Module
+    module: str
+    noqa: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(
+        cls, path: Path, source: str, *, module: Optional[str] = None
+    ) -> "FileContext":
+        tree = ast.parse(source, filename=str(path))
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            module=module if module is not None else module_name_for(path),
+            noqa=_parse_noqa(lines),
+        )
+
+    @classmethod
+    def from_path(cls, path: Path, *, module: Optional[str] = None) -> "FileContext":
+        return cls.from_source(
+            path, path.read_text(encoding="utf-8"), module=module
+        )
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        if line not in self.noqa:
+            return False
+        rules = self.noqa[line]
+        return rules is None or rule_id.upper() in rules
+
+    def parent_map(self) -> Dict[ast.AST, ast.AST]:
+        """Child -> parent for every node (computed on demand)."""
+        parents: Dict[ast.AST, ast.AST] = {}
+        for node in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(node):
+                parents[child] = node
+        return parents
+
+
+@dataclass
+class ProjectContext:
+    """Everything a cross-file checker can see.
+
+    ``files`` holds the full set of :class:`FileContext` objects for
+    this lint run; ``root`` is the repository root the ``docs/`` tree
+    hangs off.
+    """
+
+    root: Path
+    files: List[FileContext]
+
+    def doc_path(self, name: str) -> Path:
+        return self.root / "docs" / name
+
+    def read_doc(self, name: str) -> Optional[str]:
+        """Contents of ``docs/<name>`` or ``None`` if absent."""
+        p = self.doc_path(name)
+        if not p.is_file():
+            return None
+        return p.read_text(encoding="utf-8")
+
+    def find_module(self, suffix: str) -> Optional[FileContext]:
+        """The linted file whose dotted module name ends with ``suffix``."""
+        for ctx in self.files:
+            if ctx.module == suffix or ctx.module.endswith("." + suffix):
+                return ctx
+        return None
+
+
+class Checker:
+    """Base class for lint checkers.
+
+    Subclasses set ``rules`` (the :class:`Rule` objects they can emit)
+    and ``scope`` (``"file"`` or ``"project"``), then override the
+    matching ``check_*`` method.  Emitted findings must use one of the
+    declared rule ids — the engine enforces this, so the rule catalogue
+    can never silently lag the implementation.
+    """
+
+    rules: Sequence[Rule] = ()
+    scope: str = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        return ()
+
+    # Convenience for subclasses.
+    def finding(
+        self,
+        rule: Rule,
+        path: Path,
+        line: int,
+        message: str,
+        *,
+        col: int = 0,
+        hint: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=rule.id,
+            path=str(path),
+            line=line,
+            col=col,
+            message=message,
+            severity=rule.severity,
+            hint=rule.hint if hint is None else hint,
+        )
+
+
+_CHECKERS: List[Type[Checker]] = []
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding ``cls`` to the global checker registry."""
+    if not issubclass(cls, Checker):
+        raise TypeError(f"{cls.__name__} is not a Checker subclass")
+    if not cls.rules:
+        raise ValueError(f"{cls.__name__} declares no rules")
+    if cls.scope not in ("file", "project"):
+        raise ValueError(f"{cls.__name__}.scope must be 'file' or 'project'")
+    existing = {r.id for c in _CHECKERS for r in c.rules}
+    for rule in cls.rules:
+        if rule.id in existing:
+            raise ValueError(f"duplicate rule id {rule.id} from {cls.__name__}")
+    _CHECKERS.append(cls)
+    return cls
+
+
+def all_checkers() -> List[Type[Checker]]:
+    """Registered checker classes (importing :mod:`repro.lint.checkers`
+    first, so the registry is populated)."""
+    import repro.lint.checkers  # noqa: F401  (import-for-effect)
+
+    return list(_CHECKERS)
+
+
+def all_rules() -> List[Rule]:
+    """Every rule from every registered checker, sorted by id."""
+    return sorted(
+        (r for c in all_checkers() for r in c.rules), key=lambda r: r.id
+    )
+
+
+def rule_by_id(rule_id: str) -> Optional[Rule]:
+    for rule in all_rules():
+        if rule.id == rule_id:
+            return rule
+    return None

@@ -1,0 +1,23 @@
+"""Checker plugins.  Importing this package registers every checker.
+
+Each module self-registers its checker classes via
+:func:`repro.lint.base.register`; the imports below are therefore
+imports-for-effect.  Adding a checker = adding a module here plus its
+import, a rule-catalogue entry in ``docs/STATIC_ANALYSIS.md`` (the
+lockstep test enforces that), and a fixture test.
+"""
+
+from repro.lint.checkers.api import ApiAllChecker, ApiDocChecker
+from repro.lint.checkers.determinism import DeterminismChecker
+from repro.lint.checkers.floats import FloatSafetyChecker
+from repro.lint.checkers.metrics import MetricsDocChecker
+from repro.lint.checkers.protocol import ProtocolChecker
+
+__all__ = [
+    "ApiAllChecker",
+    "ApiDocChecker",
+    "DeterminismChecker",
+    "FloatSafetyChecker",
+    "MetricsDocChecker",
+    "ProtocolChecker",
+]

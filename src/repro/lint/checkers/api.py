@@ -1,0 +1,240 @@
+"""API-surface rules (API*): ``__all__`` integrity and docs/API.md.
+
+``docs/API.md`` promises "the public surface, one line per symbol",
+and every subpackage re-exports its stable names through ``__all__``.
+Nothing enforced either claim; these rules do:
+
+* API001 — a name listed in ``__all__`` is never bound in the module
+  (a typo there breaks ``from repro.x import *`` and silently lies to
+  readers).
+* API002 — a public (non-underscore) top-level function or class is
+  missing from the module's ``__all__``; or a public ``repro.*``
+  module declares no ``__all__`` at all.  Warning severity: hiding a
+  helper is sometimes intentional, so this is the natural candidate
+  for an inline suppression with a reason.
+* API003 — a symbol exported by a public package ``__init__`` has no
+  entry in ``docs/API.md``.
+* API004 — ``docs/API.md`` documents a symbol no public package
+  exports any more.
+
+API001/API002 are file-scope; API003/API004 need every package plus
+the docs tree and therefore run at project scope only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.base import Checker, FileContext, ProjectContext, register
+from repro.lint.findings import Finding, Rule, Severity
+
+__all__ = ["ApiAllChecker", "ApiDocChecker", "exported_names"]
+
+API001 = Rule(
+    id="API001",
+    name="phantom-export",
+    summary="__all__ lists a name the module never binds",
+    hint="remove the stale entry or restore the definition",
+)
+API002 = Rule(
+    id="API002",
+    name="unexported-public-def",
+    summary="public top-level def/class missing from __all__ "
+    "(or module lacks __all__ entirely)",
+    hint="add the name to __all__, prefix it with an underscore, or "
+    "suppress with a reason",
+    severity=Severity.WARNING,
+)
+API003 = Rule(
+    id="API003",
+    name="undocumented-export",
+    summary="package export has no docs/API.md entry",
+    hint="add a one-line row to the package's table in docs/API.md",
+)
+API004 = Rule(
+    id="API004",
+    name="phantom-api-doc",
+    summary="docs/API.md documents a symbol no package exports",
+    hint="delete the stale row or restore the export",
+)
+
+_DOC_SYMBOL_ROW = re.compile(r"^\|\s*`([A-Za-z_][A-Za-z0-9_]*)`\s*\|")
+
+
+def _is_public_module(module: str) -> bool:
+    parts = module.split(".")
+    return parts[0] == "repro" and not any(p.startswith("_") for p in parts[1:])
+
+
+def _all_assignment(tree: ast.Module) -> Optional[ast.Assign]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+        ):
+            return node
+    return None
+
+
+def exported_names(tree: ast.Module) -> Optional[List[Tuple[str, int]]]:
+    """``__all__`` string entries with their lines, or None if absent."""
+    assign = _all_assignment(tree)
+    if assign is None or not isinstance(assign.value, (ast.List, ast.Tuple)):
+        return None
+    out = []
+    for elt in assign.value.elts:
+        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+            out.append((elt.value, elt.lineno))
+    return out
+
+
+def _bound_names(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (defs, classes, assignments,
+    imports — including inside top-level ``if``/``try`` blocks)."""
+    bound: Set[str] = set()
+
+    def visit_block(body: List[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Name):
+                            bound.add(sub.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+            elif isinstance(node, ast.Import):
+                for a in node.names:
+                    bound.add(a.asname or a.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for a in node.names:
+                    if a.name != "*":
+                        bound.add(a.asname or a.name)
+            elif isinstance(node, ast.If):
+                visit_block(node.body)
+                visit_block(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit_block(node.body)
+                for handler in node.handlers:
+                    visit_block(handler.body)
+                visit_block(node.orelse)
+                visit_block(node.finalbody)
+
+    visit_block(tree.body)
+    return bound
+
+
+@register
+class ApiAllChecker(Checker):
+    """API001-API002: ``__all__`` tells the truth, module by module."""
+
+    rules = (API001, API002)
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not _is_public_module(ctx.module):
+            return ()
+        findings: List[Finding] = []
+        exported = exported_names(ctx.tree)
+        bound = _bound_names(ctx.tree)
+        public_defs = [
+            node
+            for node in ctx.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+        ]
+        if exported is None:
+            if public_defs:
+                findings.append(
+                    self.finding(
+                        API002,
+                        ctx.path,
+                        public_defs[0].lineno,
+                        f"public module {ctx.module} declares no __all__",
+                    )
+                )
+            return findings
+        export_set = {name for name, _ in exported}
+        for name, line in exported:
+            if name not in bound:
+                findings.append(
+                    self.finding(
+                        API001,
+                        ctx.path,
+                        line,
+                        f"__all__ entry {name!r} is never bound in "
+                        f"{ctx.module}",
+                    )
+                )
+        for node in public_defs:
+            if node.name not in export_set:
+                findings.append(
+                    self.finding(
+                        API002,
+                        ctx.path,
+                        node.lineno,
+                        f"public {type(node).__name__.replace('Def', '').lower()}"
+                        f" {node.name!r} is not in __all__",
+                    )
+                )
+        return findings
+
+
+@register
+class ApiDocChecker(Checker):
+    """API003-API004: docs/API.md covers exactly the exported surface."""
+
+    rules = (API003, API004)
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        doc = project.read_doc("API.md")
+        if doc is None:
+            return ()
+        doc_path = project.doc_path("API.md")
+
+        documented: Dict[str, int] = {}
+        for lineno, line in enumerate(doc.splitlines(), start=1):
+            m = _DOC_SYMBOL_ROW.match(line.strip())
+            if m and m.group(1) not in documented:
+                documented[m.group(1)] = lineno
+
+        findings: List[Finding] = []
+        all_exports: Set[str] = set()
+        for ctx in project.files:
+            if not ctx.path.name == "__init__.py":
+                continue
+            if not _is_public_module(ctx.module):
+                continue
+            exported = exported_names(ctx.tree)
+            if exported is None:
+                continue
+            for name, line in exported:
+                if name.startswith("__"):  # dunder metadata, not API
+                    continue
+                all_exports.add(name)
+                if name not in documented:
+                    findings.append(
+                        self.finding(
+                            API003,
+                            ctx.path,
+                            line,
+                            f"{ctx.module} exports {name!r} but docs/API.md "
+                            "has no row for it",
+                        )
+                    )
+        if all_exports:  # only meaningful when packages were linted
+            for name in sorted(documented):
+                if name not in all_exports:
+                    findings.append(
+                        self.finding(
+                            API004,
+                            doc_path,
+                            documented[name],
+                            f"docs/API.md documents {name!r} but no public "
+                            "package exports it",
+                        )
+                    )
+        return findings

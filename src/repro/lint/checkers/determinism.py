@@ -1,0 +1,401 @@
+"""Determinism rules (DET*): the byte-identical-runs invariant.
+
+The reproduction's headline guarantee — same seed, same bytes out —
+holds only if no code path consults an unseeded RNG, the wall clock,
+or an ordering that varies between processes.  These rules flag the
+four ways that guarantee has historically been broken in distributed-
+systems reproductions:
+
+* DET001 — module-level ``random.*`` / ``numpy.random.*`` calls (the
+  global RNG streams), instead of a seeded generator threaded through
+  ``repro._util.rng.as_generator``.
+* DET002 — wall-clock / OS-entropy reads (``time.time``,
+  ``datetime.now``, ``os.urandom``, ``uuid.uuid4``) inside the
+  deterministic layers (``repro.core``, ``repro.p2p``,
+  ``repro.simulation``, ``repro.faults``).  Duration measurement via
+  ``time.perf_counter`` is allowed: timers report *observability*
+  numbers, never feed results.
+* DET003 — iterating a ``set`` (or another unordered source) into an
+  ordered accumulation without ``sorted(...)``.  Even int-keyed sets
+  iterate in table order, which changes with insertion history; float
+  summation over such an iteration is not even associative.
+* DET004 — ordering by ``id(...)``: CPython addresses differ between
+  runs, so any comparison or sort key built on them does too.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.lint.base import Checker, FileContext, register
+from repro.lint.findings import Finding, Rule
+
+__all__ = ["DeterminismChecker"]
+
+DET001 = Rule(
+    id="DET001",
+    name="unseeded-global-rng",
+    summary="call into the module-level random / numpy.random API "
+    "(the unseeded global stream)",
+    hint="thread a seeded generator through "
+    "repro._util.rng.as_generator(seed) instead",
+)
+DET002 = Rule(
+    id="DET002",
+    name="wall-clock-in-deterministic-layer",
+    summary="wall-clock or OS-entropy read inside repro.core / repro.p2p "
+    "/ repro.simulation / repro.faults",
+    hint="deterministic layers must take time/randomness as inputs; "
+    "use pass indices or a seeded generator",
+)
+DET003 = Rule(
+    id="DET003",
+    name="unordered-iteration-accumulates",
+    summary="iteration over an unordered collection feeds an ordered "
+    "accumulation",
+    hint="wrap the iterable in sorted(...) or accumulate into an "
+    "order-insensitive structure",
+)
+DET004 = Rule(
+    id="DET004",
+    name="id-based-ordering",
+    summary="object identity (id()) used as an ordering",
+    hint="order by a stable key (document id, peer id, GUID) instead "
+    "of a CPython address",
+)
+
+#: Layers where wall-clock reads are forbidden (DET002).
+DETERMINISTIC_PREFIXES = (
+    "repro.core",
+    "repro.p2p",
+    "repro.simulation",
+    "repro.faults",
+)
+
+#: ``numpy.random`` attributes that are seeded-RNG plumbing, not draws.
+_NP_RANDOM_SAFE = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "MT19937",
+    "SFC64",
+    "RandomState",  # legacy, but explicit construction is seedable
+}
+
+#: Fully-qualified callables DET002 flags.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+}
+
+#: Calls whose result is an unordered / host-dependent sequence (DET003).
+_UNORDERED_CALLS = {"set", "frozenset"}
+_HOST_ORDER_CALLS = {"os.listdir", "glob.glob", "glob.iglob"}
+
+#: Set methods that return sets (iterating their result is unordered).
+_SET_COMBINATORS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+}
+
+#: Order-insensitive consumers: a generator over a set inside these is fine.
+_ORDER_FREE_CONSUMERS = {
+    "sorted",
+    "set",
+    "frozenset",
+    "len",
+    "any",
+    "all",
+    "min",
+    "max",
+    "dict",
+    "Counter",
+}
+
+
+def _collect_import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> fully qualified module/object path."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                aliases[a.asname or a.name.split(".")[0]] = (
+                    a.name if a.asname else a.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for a in node.names:
+                aliases[a.asname or a.name] = f"{node.module}.{a.name}"
+    return aliases
+
+
+def _dotted(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve an attribute chain to a fully-qualified dotted path."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    root = aliases.get(node.id, node.id)
+    return ".".join([root] + parts[::-1])
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    """Heuristic: does this expression produce an unordered collection?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _UNORDERED_CALLS:
+            return True
+        if isinstance(func, ast.Attribute):
+            if func.attr in _SET_COMBINATORS and _is_set_expr(
+                func.value, set_names
+            ):
+                return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+def _is_host_order_call(node: ast.expr, aliases: Dict[str, str]) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    path = _dotted(node.func, aliases)
+    return path in _HOST_ORDER_CALLS
+
+
+def _accumulates(body: List[ast.stmt]) -> bool:
+    """Does a loop body feed an ordered accumulation?"""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in ("append", "extend", "insert", "write"):
+                    return True
+            if isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                return True
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+    return False
+
+
+@register
+class DeterminismChecker(Checker):
+    """DET001-DET004: seeded-RNG-only, clock-free, order-stable code."""
+
+    rules = (DET001, DET002, DET003, DET004)
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        aliases = _collect_import_aliases(ctx.tree)
+        parents = ctx.parent_map()
+        set_names = self._set_valued_names(ctx.tree)
+        findings: List[Finding] = []
+        findings.extend(self._check_rng_and_clock(ctx, aliases))
+        findings.extend(self._check_unordered_iteration(ctx, aliases, parents, set_names))
+        findings.extend(self._check_id_ordering(ctx, parents))
+        return findings
+
+    # -- DET001 / DET002 ------------------------------------------------
+    def _check_rng_and_clock(
+        self, ctx: FileContext, aliases: Dict[str, str]
+    ) -> Iterable[Finding]:
+        in_deterministic_layer = ctx.module.startswith(DETERMINISTIC_PREFIXES)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            path = _dotted(node.func, aliases)
+            if path is None:
+                continue
+            if self._is_global_rng(path, node):
+                yield self.finding(
+                    DET001,
+                    ctx.path,
+                    node.lineno,
+                    f"call to unseeded global RNG API {path}()",
+                    col=node.col_offset,
+                )
+            elif in_deterministic_layer and path in _WALL_CLOCK:
+                yield self.finding(
+                    DET002,
+                    ctx.path,
+                    node.lineno,
+                    f"{path}() read inside deterministic layer "
+                    f"{ctx.module}",
+                    col=node.col_offset,
+                )
+
+    @staticmethod
+    def _is_global_rng(path: str, call: ast.Call) -> bool:
+        if path.startswith("random."):
+            attr = path.split(".", 1)[1]
+            # Explicitly seeded constructions are fine.
+            if attr in ("Random", "SystemRandom") and call.args:
+                return attr != "SystemRandom"
+            return True
+        for prefix in ("numpy.random.", "np.random."):
+            if path.startswith(prefix):
+                attr = path[len(prefix):].split(".")[0]
+                if attr in _NP_RANDOM_SAFE:
+                    # default_rng() with no seed is still the OS-entropy
+                    # path — flag it; default_rng(seed) is the idiom.
+                    return attr == "default_rng" and not (
+                        call.args or call.keywords
+                    )
+                return True
+        return False
+
+    # -- DET003 ---------------------------------------------------------
+    @staticmethod
+    def _set_valued_names(tree: ast.Module) -> Set[str]:
+        """Names assigned an (unsubscripted) set-producing expression."""
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            value: Optional[ast.expr] = None
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                value, targets = node.value, node.targets
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                value, targets = node.value, [node.target]
+            if value is None or not _is_set_expr(value, set()):
+                continue
+            for t in targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        return names
+
+    def _check_unordered_iteration(
+        self,
+        ctx: FileContext,
+        aliases: Dict[str, str],
+        parents: Dict[ast.AST, ast.AST],
+        set_names: Set[str],
+    ) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                if self._unordered(node.iter, aliases, set_names) and _accumulates(
+                    node.body
+                ):
+                    yield self.finding(
+                        DET003,
+                        ctx.path,
+                        node.iter.lineno,
+                        "for-loop over an unordered collection accumulates "
+                        "in iteration order",
+                        col=node.iter.col_offset,
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                gen = node.generators[0]
+                if not self._unordered(gen.iter, aliases, set_names):
+                    continue
+                if isinstance(node, ast.GeneratorExp):
+                    parent = parents.get(node)
+                    if not (
+                        isinstance(parent, ast.Call)
+                        and isinstance(parent.func, ast.Name)
+                        and parent.func.id in ("list", "tuple", "sum")
+                    ):
+                        continue
+                else:
+                    parent = parents.get(node)
+                    if (
+                        isinstance(parent, ast.Call)
+                        and isinstance(parent.func, ast.Name)
+                        and parent.func.id in _ORDER_FREE_CONSUMERS
+                    ):
+                        continue
+                yield self.finding(
+                    DET003,
+                    ctx.path,
+                    gen.iter.lineno,
+                    "comprehension over an unordered collection builds an "
+                    "ordered result",
+                    col=gen.iter.col_offset,
+                )
+
+    @staticmethod
+    def _unordered(
+        iter_expr: ast.expr, aliases: Dict[str, str], set_names: Set[str]
+    ) -> bool:
+        return _is_set_expr(iter_expr, set_names) or _is_host_order_call(
+            iter_expr, aliases
+        )
+
+    # -- DET004 ---------------------------------------------------------
+    def _check_id_ordering(
+        self, ctx: FileContext, parents: Dict[ast.AST, ast.AST]
+    ) -> Iterable[Finding]:
+        def contains_id_call(node: ast.AST) -> Optional[ast.Call]:
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id == "id"
+                ):
+                    return sub
+            return None
+
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(ctx.tree):
+            hit: Optional[ast.Call] = None
+            if isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+                for op in node.ops
+            ):
+                for operand in [node.left] + list(node.comparators):
+                    hit = contains_id_call(operand)
+                    if hit:
+                        break
+            elif isinstance(node, ast.Call):
+                is_sort = (
+                    isinstance(node.func, ast.Name)
+                    and node.func.id in ("sorted", "min", "max")
+                ) or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "sort"
+                )
+                if is_sort:
+                    for arg in list(node.args) + [k.value for k in node.keywords]:
+                        hit = contains_id_call(arg)
+                        if hit:
+                            break
+            if hit is None:
+                continue
+            key = (hit.lineno, hit.col_offset)
+            if key in seen:
+                continue
+            seen.add(key)
+            yield self.finding(
+                DET004,
+                ctx.path,
+                hit.lineno,
+                "id() used as an ordering key — CPython addresses differ "
+                "between runs",
+                col=hit.col_offset,
+            )

@@ -1,0 +1,136 @@
+"""Metrics/doc-drift rules (MET*): emitted names ↔ OBSERVABILITY.md.
+
+``docs/OBSERVABILITY.md`` is the operator's catalogue: every metric the
+instrumentation can emit, with unit, meaning and paper mapping.  The
+demo cross-check test (``tests/obs/test_obs_demo.py``) already proves
+demo-emitted metrics are documented — but it cannot see metrics the
+demo never exercises (the ``faults.*`` namespace) and it cannot catch
+documented names that no code emits any more.  These rules close both
+gaps statically:
+
+* MET001 — a metric name registered in code (a string-literal first
+  argument to a ``counter``/``gauge``/``histogram``/``timer`` factory
+  call) has no catalogue row in ``docs/OBSERVABILITY.md``.
+* MET002 — a catalogue row names a metric no code registers.
+
+Only dotted lowercase names in catalogue *table rows* count — prose
+mentions and derived expressions (``a / b``) are ignored.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.base import Checker, ProjectContext, register
+from repro.lint.findings import Finding, Rule
+
+__all__ = ["MetricsDocChecker"]
+
+MET001 = Rule(
+    id="MET001",
+    name="undocumented-metric",
+    summary="metric registered in code but absent from the "
+    "docs/OBSERVABILITY.md catalogue",
+    hint="add a catalogue row (name, type, unit, meaning, paper "
+    "mapping) to docs/OBSERVABILITY.md",
+)
+MET002 = Rule(
+    id="MET002",
+    name="phantom-metric",
+    summary="metric documented in docs/OBSERVABILITY.md but never "
+    "registered by any code",
+    hint="delete the stale catalogue row, or restore the emission site",
+)
+
+#: Registry factory methods whose first argument names the metric.
+FACTORY_METHODS = ("counter", "gauge", "histogram", "timer")
+
+#: A well-formed metric name: dotted, lowercase, >= 2 segments.
+_METRIC_NAME = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)+$")
+
+#: A catalogue row: backticked dotted name, then an instrument-type
+#: column.  The type column is what separates metric rows from the §5
+#: trace-event table (whose second column is ``span``/``event``).
+_DOC_ROW = re.compile(
+    r"^\|\s*`([a-z][a-z0-9_.]*)`\s*\|\s*(?:counter|gauge|histogram|timer)\s*\|"
+)
+
+
+def _emitted_metrics(project: ProjectContext) -> Dict[str, List[Tuple[object, int]]]:
+    """Metric name -> [(path, line), ...] over every linted file."""
+    emitted: Dict[str, List[Tuple[object, int]]] = {}
+    for ctx in project.files:
+        for node in ast.walk(ctx.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in FACTORY_METHODS
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                continue
+            name = first.value
+            if not _METRIC_NAME.match(name):
+                continue
+            emitted.setdefault(name, []).append((ctx.path, node.lineno))
+    return emitted
+
+
+def _documented_metrics(doc: str) -> Dict[str, int]:
+    """Catalogue-row metric name -> 1-based doc line."""
+    documented: Dict[str, int] = {}
+    for lineno, line in enumerate(doc.splitlines(), start=1):
+        m = _DOC_ROW.match(line.strip())
+        if not m:
+            continue
+        name = m.group(1)
+        if _METRIC_NAME.match(name) and name not in documented:
+            documented[name] = lineno
+    return documented
+
+
+@register
+class MetricsDocChecker(Checker):
+    """MET001-MET002: the metric catalogue cannot drift from the code."""
+
+    rules = (MET001, MET002)
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        doc = project.read_doc("OBSERVABILITY.md")
+        if doc is None:
+            return ()
+        doc_path = project.doc_path("OBSERVABILITY.md")
+        emitted = _emitted_metrics(project)
+        documented = _documented_metrics(doc)
+
+        findings: List[Finding] = []
+        for name in sorted(emitted):
+            if name in documented:
+                continue
+            path, line = emitted[name][0]
+            findings.append(
+                self.finding(
+                    MET001,
+                    path,
+                    line,
+                    f"metric {name!r} is registered here but has no "
+                    "docs/OBSERVABILITY.md catalogue row",
+                )
+            )
+        for name in sorted(documented):
+            if name not in emitted:
+                findings.append(
+                    self.finding(
+                        MET002,
+                        doc_path,
+                        documented[name],
+                        f"documented metric {name!r} is never registered "
+                        "by any linted module",
+                    )
+                )
+        return findings

@@ -1,0 +1,217 @@
+"""Protocol-conformance rules (PRO*): code ↔ PROTOCOL.md lockstep.
+
+PR 2 shipped a fix for exactly this failure mode: the §2 message-format
+table in ``docs/PROTOCOL.md`` had drifted from the dataclasses in
+``repro/p2p/messages.py`` (renamed fields, fields the Eq. 4 cost model
+never priced).  These rules make that drift a lint error instead of a
+reviewer catch:
+
+* PRO001 — every field of ``PagerankUpdate`` appears in the §2 field
+  table, and every documented field exists on the dataclass.
+* PRO002 — the *priced* wire sizes in the §2 table (``128 bits``,
+  ``64-bit float``; ``0 (unpriced)`` rows are free) must sum to the
+  ``MESSAGE_SIZE_BYTES`` constant the whole cost model (§4.6.1)
+  prices traffic with.
+* PRO003 — every message dataclass in the messages module must expose
+  a ``size_bytes`` property, so no message type can escape the cost
+  model unpriced.
+
+These are *project*-scope rules: they need both the parsed messages
+module and the ``docs/`` tree, so they run only on full-tree lints.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.base import Checker, FileContext, ProjectContext, register
+from repro.lint.findings import Finding, Rule
+
+__all__ = ["ProtocolChecker"]
+
+PRO001 = Rule(
+    id="PRO001",
+    name="message-field-drift",
+    summary="PagerankUpdate dataclass fields and the docs/PROTOCOL.md "
+    "section 2 field table disagree",
+    hint="add the missing row to the table (with a wire size or "
+    "'0 (unpriced)') or the missing field to the dataclass",
+)
+PRO002 = Rule(
+    id="PRO002",
+    name="message-size-drift",
+    summary="priced wire sizes in the PROTOCOL.md field table do not "
+    "sum to MESSAGE_SIZE_BYTES",
+    hint="reconcile the table's bit widths with the constant the "
+    "Eq. 4 cost model prices messages at",
+)
+PRO003 = Rule(
+    id="PRO003",
+    name="unpriced-message-type",
+    summary="message dataclass lacks a size_bytes property",
+    hint="every wire message must be priced: add a size_bytes property "
+    "returning its accounting size",
+)
+
+#: The dataclass whose fields the section 2 table documents.
+UPDATE_CLASS = "PagerankUpdate"
+
+#: Name of the constant the traffic accounting prices updates with.
+SIZE_CONSTANT = "MESSAGE_SIZE_BYTES"
+
+_TABLE_ROW = re.compile(r"^\|\s*`(\w+)`\s*\|\s*([^|]+?)\s*\|")
+_BITS = re.compile(r"(\d+)[\s-]*bit")
+
+
+def _message_section(doc: str) -> Tuple[int, str]:
+    """(1-based start line, text) of the '## 2. Message format' section."""
+    lines = doc.splitlines()
+    start = end = None
+    for i, line in enumerate(lines):
+        if start is None and re.match(r"^##\s+2\.", line):
+            start = i
+        elif start is not None and line.startswith("## "):
+            end = i
+            break
+    if start is None:
+        return 0, ""
+    return start + 1, "\n".join(lines[start : end if end is not None else len(lines)])
+
+
+def _doc_fields(section: str, first_line: int) -> Dict[str, Tuple[int, int]]:
+    """Documented field -> (priced wire bytes, 1-based doc line)."""
+    fields: Dict[str, Tuple[int, int]] = {}
+    for offset, line in enumerate(section.splitlines()):
+        m = _TABLE_ROW.match(line.strip())
+        if not m:
+            continue
+        name, size_text = m.group(1), m.group(2)
+        bits = _BITS.search(size_text)
+        if bits:
+            priced = int(bits.group(1)) // 8
+        else:
+            priced = 0  # '0 (unpriced)' rows and anything unparseable
+        fields[name] = (priced, first_line + offset)
+    return fields
+
+
+def _dataclasses(tree: ast.Module) -> List[ast.ClassDef]:
+    out = []
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for dec in node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = target.attr if isinstance(target, ast.Attribute) else (
+                target.id if isinstance(target, ast.Name) else None
+            )
+            if name == "dataclass":
+                out.append(node)
+                break
+    return out
+
+
+def _field_names(cls: ast.ClassDef) -> List[Tuple[str, int]]:
+    """Annotated dataclass fields (name, line), declaration order."""
+    fields = []
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            fields.append((stmt.target.id, stmt.lineno))
+    return fields
+
+
+def _has_size_bytes(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == "size_bytes":
+            return True
+    return False
+
+
+def _int_constant(tree: ast.Module, name: str) -> Optional[Tuple[int, int]]:
+    """(value, line) of a module-level integer assignment to ``name``."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets and isinstance(node.value, ast.Constant):
+                value = node.value.value
+                if isinstance(value, int):
+                    return value, node.lineno
+    return None
+
+
+@register
+class ProtocolChecker(Checker):
+    """PRO001-PRO003: message dataclasses priced and documented."""
+
+    rules = (PRO001, PRO002, PRO003)
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        ctx = project.find_module("p2p.messages")
+        if ctx is None:
+            return ()
+        findings: List[Finding] = []
+        doc = project.read_doc("PROTOCOL.md")
+        doc_path = project.doc_path("PROTOCOL.md")
+
+        update_cls = next(
+            (c for c in _dataclasses(ctx.tree) if c.name == UPDATE_CLASS), None
+        )
+
+        if doc is not None and update_cls is not None:
+            section_line, section = _message_section(doc)
+            documented = _doc_fields(section, section_line)
+            declared = _field_names(update_cls)
+            declared_names = {name for name, _ in declared}
+            for name, line in declared:
+                if name not in documented:
+                    findings.append(
+                        self.finding(
+                            PRO001,
+                            ctx.path,
+                            line,
+                            f"{UPDATE_CLASS}.{name} has no row in the "
+                            "PROTOCOL.md section 2 field table",
+                        )
+                    )
+            for name, (_, doc_line) in sorted(documented.items()):
+                if name not in declared_names:
+                    findings.append(
+                        self.finding(
+                            PRO001,
+                            doc_path,
+                            doc_line,
+                            f"documented field `{name}` does not exist on "
+                            f"{UPDATE_CLASS}",
+                        )
+                    )
+
+            constant = _int_constant(ctx.tree, SIZE_CONSTANT)
+            if constant is not None and documented:
+                priced = sum(size for size, _ in documented.values())
+                value, const_line = constant
+                if priced != value:
+                    findings.append(
+                        self.finding(
+                            PRO002,
+                            ctx.path,
+                            const_line,
+                            f"{SIZE_CONSTANT} is {value} but the documented "
+                            f"priced field widths sum to {priced} bytes",
+                        )
+                    )
+
+        for cls in _dataclasses(ctx.tree):
+            if not _has_size_bytes(cls):
+                findings.append(
+                    self.finding(
+                        PRO003,
+                        ctx.path,
+                        cls.lineno,
+                        f"message dataclass {cls.name} has no size_bytes "
+                        "property — the Eq. 4 cost model cannot price it",
+                    )
+                )
+        return findings

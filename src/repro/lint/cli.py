@@ -1,0 +1,138 @@
+"""``repro lint`` — the static-analysis entry point.
+
+Kept separate from :mod:`repro.cli` so the top-level CLI stays a thin
+dispatcher; that module calls :func:`configure_parser` to mount the
+arguments and :func:`run` to execute.  Rendering is plain text (one
+finding per line, ``path:line:col``) or the versioned JSON document of
+:mod:`repro.lint.findings` — stable enough to diff across runs or feed
+a CI annotation step.
+
+Exit codes: 0 = clean (after suppressions and baseline), 1 = findings
+survived, 2 = bad invocation (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.base import all_rules
+from repro.lint.engine import PARSE_RULE, LintResult, changed_files, lint_paths
+from repro.lint.findings import Baseline, findings_to_json
+
+__all__ = ["configure_parser", "run", "render_table", "DEFAULT_BASELINE_NAME"]
+
+#: Picked up automatically when present at the repo root.
+DEFAULT_BASELINE_NAME = ".lint-baseline.json"
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Mount ``repro lint``'s arguments onto ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", type=Path,
+        help="files or directories to lint (default: <root>/src)",
+    )
+    parser.add_argument(
+        "--root", type=Path, default=Path.cwd(),
+        help="repository root (docs/ cross-checks and path reporting; "
+        "default: current directory)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="output format (default: table)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help=f"justified-findings baseline file (default: "
+        f"<root>/{DEFAULT_BASELINE_NAME} when present)",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="lint only files reported by `git diff --name-only HEAD` "
+        "(file-scope rules only — fast pre-commit mode)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _load_baseline(args: argparse.Namespace) -> Optional[Baseline]:
+    path = args.baseline
+    if path is None:
+        candidate = args.root / DEFAULT_BASELINE_NAME
+        if not candidate.is_file():
+            return None
+        path = candidate
+    return Baseline.load(path.read_text(encoding="utf-8"))
+
+
+def _render_rules() -> str:
+    rows = [(r.id, r.severity.value, r.name, r.summary) for r in all_rules()]
+    rows.append(
+        (PARSE_RULE.id, PARSE_RULE.severity.value, PARSE_RULE.name, PARSE_RULE.summary)
+    )
+    rows.sort()
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    lines = [
+        f"{rid:<{widths[0]}}  {sev:<{widths[1]}}  {name:<{widths[2]}}  {summary}"
+        for rid, sev, name, summary in rows
+    ]
+    lines.append(f"{len(rows)} rules (catalogue: docs/STATIC_ANALYSIS.md)")
+    return "\n".join(lines)
+
+
+def render_table(result: LintResult) -> str:
+    """Human-readable report: one finding per line plus a summary."""
+    lines: List[str] = []
+    for f in result.findings:
+        lines.append(
+            f"{f.path}:{f.line}:{f.col}: {f.rule} [{f.severity.value}] {f.message}"
+        )
+        if f.hint:
+            lines.append(f"    hint: {f.hint}")
+    summary = (
+        f"{result.files_linted} files: {result.errors} errors, "
+        f"{result.warnings} warnings"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute ``repro lint`` for parsed ``args``; returns exit code."""
+    if args.list_rules:
+        print(_render_rules())
+        return 0
+    root = args.root
+    paths = list(args.paths)
+    if args.changed:
+        paths = changed_files(root)
+        if not paths:
+            print("no changed python files")
+            return 0
+    try:
+        baseline = _load_baseline(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = lint_paths(
+        root,
+        paths or None,
+        include_project=not args.changed,
+        baseline=baseline,
+    )
+    if args.format == "json":
+        print(findings_to_json(result.findings))
+    else:
+        print(render_table(result))
+    return 0 if result.ok else 1

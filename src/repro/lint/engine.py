@@ -1,0 +1,220 @@
+"""The lint engine: collect files, run checkers, filter suppressions.
+
+Orchestration only — rules live in :mod:`repro.lint.checkers`, data
+shapes in :mod:`repro.lint.findings`.  The engine is itself held to
+the determinism bar it enforces: files are visited in sorted order and
+findings are sorted before they are returned, so two runs over the
+same tree emit byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import ast
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.base import (
+    Checker,
+    FileContext,
+    ProjectContext,
+    all_checkers,
+)
+from repro.lint.findings import Baseline, Finding, Rule, Severity, sort_findings
+
+__all__ = ["PARSE_RULE", "LintResult", "collect_files", "changed_files", "lint_paths"]
+
+#: Engine-level rule for files the ``ast`` module cannot parse.  Not
+#: attached to a checker (nothing can run on an unparsed file) but part
+#: of the documented catalogue like every other rule.
+PARSE_RULE = Rule(
+    id="LNT000",
+    name="unparseable-source",
+    summary="file could not be parsed as Python",
+    hint="fix the syntax error; nothing else can be checked until "
+    "the file parses",
+)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run: surviving findings plus bookkeeping."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_linted: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing survived filtering — the exit-0 condition."""
+        return not self.findings
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand ``paths`` (files or directories) to a sorted list of
+    ``.py`` files, deduplicated, ``__pycache__`` excluded."""
+    seen = set()
+    out: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            candidates = []
+        for cand in candidates:
+            if "__pycache__" in cand.parts:
+                continue
+            resolved = cand.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(cand)
+    return out
+
+
+def changed_files(root: Path) -> List[Path]:
+    """``git diff --name-only HEAD`` relative to ``root`` — the fast
+    pre-commit universe (tracked modifications, staged or not).
+
+    Restricted to ``root/src`` when that directory exists, mirroring
+    the full-tree default: test code legitimately asserts exact float
+    values and pokes private state, so it is linted only when named
+    explicitly.
+    """
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", "HEAD"],
+        cwd=root,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    src = root / "src"
+    universe = (src if src.is_dir() else root).resolve()
+    out: List[Path] = []
+    for line in sorted(proc.stdout.splitlines()):
+        candidate = root / line.strip()
+        if candidate.suffix != ".py" or not candidate.is_file():
+            continue
+        if universe not in candidate.resolve().parents:
+            continue
+        out.append(candidate)
+    return out
+
+
+def _relative(path: Path, root: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(root.resolve()))
+    except ValueError:
+        return str(path)
+
+
+def lint_paths(
+    root: Path,
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    include_project: bool = True,
+    baseline: Optional[Baseline] = None,
+    checkers: Optional[Sequence[Checker]] = None,
+) -> LintResult:
+    """Lint ``paths`` (default: ``root/src``) and return the result.
+
+    Parameters
+    ----------
+    root:
+        Repository root — the ``docs/`` tree for cross-file checkers
+        hangs off it, and finding paths are reported relative to it.
+    paths:
+        Files or directories to lint; defaults to ``root/src`` when it
+        exists, else ``root`` itself.
+    include_project:
+        Run the cross-file (project-scope) checkers.  Disabled by
+        ``--changed``, whose partial universe would make every
+        "never emitted / never exported" rule fire spuriously.
+    baseline:
+        Optional justified-findings baseline; matching findings are
+        counted in ``baselined`` instead of reported.
+    checkers:
+        Override the registered checker set (tests only).
+    """
+    if paths is None or not paths:
+        src = root / "src"
+        paths = [src if src.is_dir() else root]
+    files = collect_files([Path(p) for p in paths])
+
+    active = (
+        list(checkers) if checkers is not None else [cls() for cls in all_checkers()]
+    )
+    file_checkers = [c for c in active if c.scope == "file"]
+    project_checkers = [c for c in active if c.scope == "project"]
+
+    result = LintResult()
+    contexts: List[FileContext] = []
+    raw: List[Finding] = []
+    for path in files:
+        try:
+            ctx = FileContext.from_path(path)
+        except SyntaxError as exc:
+            raw.append(
+                Finding(
+                    rule=PARSE_RULE.id,
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    message=f"syntax error: {exc.msg}",
+                    severity=PARSE_RULE.severity,
+                    hint=PARSE_RULE.hint,
+                )
+            )
+            result.files_linted += 1
+            continue
+        contexts.append(ctx)
+        result.files_linted += 1
+        for checker in file_checkers:
+            for finding in checker.check_file(ctx):
+                if ctx.is_suppressed(finding.line, finding.rule):
+                    result.suppressed += 1
+                else:
+                    raw.append(finding)
+
+    if include_project and project_checkers:
+        project = ProjectContext(root=root, files=contexts)
+        by_path = {str(ctx.path): ctx for ctx in contexts}
+        for checker in project_checkers:
+            for finding in checker.check_project(project):
+                ctx = by_path.get(finding.path)
+                if ctx is not None and ctx.is_suppressed(finding.line, finding.rule):
+                    result.suppressed += 1
+                else:
+                    raw.append(finding)
+
+    relativized = [
+        Finding(
+            rule=f.rule,
+            path=_relative(Path(f.path), root),
+            line=f.line,
+            col=f.col,
+            message=f.message,
+            severity=f.severity,
+            hint=f.hint,
+        )
+        for f in raw
+    ]
+    if baseline is not None:
+        kept: List[Finding] = []
+        for finding in relativized:
+            if baseline.covers(finding):
+                result.baselined += 1
+            else:
+                kept.append(finding)
+        relativized = kept
+    result.findings = sort_findings(relativized)
+    return result

@@ -1,0 +1,188 @@
+"""Structured lint findings and their JSON wire format.
+
+A finding is one rule violation at one source location.  Findings are
+plain data end to end: checkers yield them, the engine filters them
+(``# repro: noqa[...]`` suppressions, baseline entries), and the CLI
+renders the survivors as an aligned table or as JSON whose schema is
+stable enough to diff across runs (``schema_version`` guards it).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Severity",
+    "Rule",
+    "Finding",
+    "Baseline",
+    "BaselineEntry",
+    "sort_findings",
+    "findings_to_json",
+    "findings_from_json",
+]
+
+#: Bumped whenever the JSON layout below changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class Severity(str, Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings are invariant violations (nondeterminism,
+    protocol drift) — they fail the build.  ``WARNING`` findings are
+    hygiene issues (missing ``__all__`` entry) that still fail ``repro
+    lint`` by default but are the natural candidates for a justified
+    baseline entry.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Static description of one lint rule.
+
+    The full catalogue — one entry per :class:`Rule` registered by a
+    checker — lives in ``docs/STATIC_ANALYSIS.md``; a lockstep test
+    keeps the two in sync.
+    """
+
+    id: str
+    name: str
+    summary: str
+    hint: str = ""
+    severity: Severity = Severity.ERROR
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is repo-root-relative where possible (the engine
+    relativises it); ``line``/``col`` are 1-based/0-based as in the
+    ``ast`` module.  ``hint`` carries the rule's fix suggestion,
+    possibly specialised by the checker.
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    col: int = 0
+    severity: Severity = Severity.ERROR
+    hint: str = ""
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def to_dict(self) -> Dict[str, object]:
+        d = asdict(self)
+        d["severity"] = self.severity.value
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, object]) -> "Finding":
+        return cls(
+            rule=str(d["rule"]),
+            path=str(d["path"]),
+            line=int(d["line"]),  # type: ignore[arg-type]
+            message=str(d["message"]),
+            col=int(d.get("col", 0)),  # type: ignore[arg-type]
+            severity=Severity(str(d.get("severity", "error"))),
+            hint=str(d.get("hint", "")),
+        )
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    """Stable presentation order: path, line, column, rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def findings_to_json(findings: Sequence[Finding], *, indent: int = 2) -> str:
+    """Serialise findings to the versioned JSON document."""
+    doc = {
+        "schema_version": SCHEMA_VERSION,
+        "findings": [f.to_dict() for f in sort_findings(findings)],
+        "summary": {
+            "total": len(findings),
+            "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+            "warnings": sum(1 for f in findings if f.severity is Severity.WARNING),
+        },
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def findings_from_json(text: str) -> List[Finding]:
+    """Parse a document produced by :func:`findings_to_json`."""
+    doc = json.loads(text)
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported findings schema version {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    return [Finding.from_dict(d) for d in doc["findings"]]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted (grandfathered) finding.
+
+    Baselines let ``repro lint`` adopt a rule before the tree is fully
+    clean — but every entry must say *why* the violation is acceptable,
+    so the baseline cannot silently become a dumping ground.
+    """
+
+    rule: str
+    path: str
+    justification: str
+    message_prefix: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule == self.rule
+            and finding.path == self.path
+            and finding.message.startswith(self.message_prefix)
+        )
+
+
+@dataclass
+class Baseline:
+    """A set of justified :class:`BaselineEntry` records (JSON file)."""
+
+    entries: List[BaselineEntry] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, text: str) -> "Baseline":
+        doc = json.loads(text)
+        entries = []
+        for raw in doc.get("entries", []):
+            justification = str(raw.get("justification", "")).strip()
+            if not justification:
+                raise ValueError(
+                    f"baseline entry for {raw.get('rule')} at {raw.get('path')} "
+                    "has no justification — every accepted finding must say why"
+                )
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    justification=justification,
+                    message_prefix=str(raw.get("message_prefix", "")),
+                )
+            )
+        return cls(entries)
+
+    def dump(self) -> str:
+        return json.dumps(
+            {"entries": [asdict(e) for e in self.entries]}, indent=2
+        )
+
+    def covers(self, finding: Finding) -> bool:
+        return any(e.matches(finding) for e in self.entries)

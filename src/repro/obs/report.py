@@ -26,7 +26,8 @@ def _fmt(value) -> str:
     if isinstance(value, int):
         return str(value)
     if isinstance(value, float):
-        if value == 0.0:
+        # Exact-zero display sentinel: only a true 0.0 renders as "0".
+        if value == 0.0:  # repro: noqa[FLT001]
             return "0"
         if abs(value) >= 1e5 or abs(value) < 1e-3:
             return f"{value:.3e}"

@@ -179,7 +179,8 @@ class MarkovChurn:
             raise ValueError(f"num_peers must be >= 1, got {num_peers}")
         check_probability("p_leave", p_leave)
         check_probability("p_join", p_join)
-        if p_join == 0.0:
+        # Exactly-zero is the one invalid rate: peers could never return.
+        if p_join == 0.0:  # repro: noqa[FLT001]
             raise ValueError("p_join must be > 0 or peers never return")
         self.num_peers = num_peers
         self.p_leave = float(p_leave)

@@ -27,6 +27,7 @@ __all__ = [
     "peer_guid",
     "ring_distance",
     "in_interval",
+    "guids_array",
 ]
 
 #: Width of the identifier ring (bits).  The paper budgets 128 bits per

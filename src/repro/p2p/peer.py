@@ -375,7 +375,9 @@ class Peer:
         missing = moving - self._local
         if missing:
             raise KeyError(f"peer {self.peer_id} does not store {sorted(missing)}")
-        for doc in moving:
+        # Sorted so the returned dict's order is canonical no matter how
+        # the caller ordered ``docs`` — adopters insert in this order.
+        for doc in sorted(moving):
             state[doc] = (
                 self.rank.pop(doc),
                 self.published.pop(doc),

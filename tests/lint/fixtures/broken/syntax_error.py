@@ -1,0 +1,4 @@
+"""Unparseable fixture for LNT000."""
+
+def broken(:
+    return

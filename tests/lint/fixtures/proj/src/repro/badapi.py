@@ -1,0 +1,7 @@
+"""``__all__`` drift fixture: a phantom export and an unexported def."""
+
+__all__ = ["missing_function"]  # API001: never bound below
+
+
+def present_function():  # API002: public but not in __all__
+    return 1

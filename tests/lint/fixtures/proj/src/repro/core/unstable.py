@@ -1,0 +1,31 @@
+"""Deliberately broken fixture: one seeded violation per file-scope rule.
+
+This file is linted by the tests, never imported or executed.
+"""
+
+import random
+import time
+
+__all__ = ["jitter", "total_from_set", "order_pairs", "exact"]
+
+
+def jitter():
+    # DET001 (global RNG) and DET002 (wall clock in repro.core.*).
+    return random.random() + time.time()
+
+
+def total_from_set(values):
+    out = []
+    for v in {1, 2, 3} | set(values):  # DET003: set iteration feeds append
+        out.append(v)
+    return out
+
+
+def order_pairs(items):
+    return sorted(items, key=lambda x: id(x))  # DET004: id() as sort key
+
+
+def exact(residual, epsilon):
+    if residual == 0.5:  # FLT001: float-literal equality
+        return True
+    return residual == epsilon  # FLT002: convergence floats compared exactly

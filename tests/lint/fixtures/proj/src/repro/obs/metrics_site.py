@@ -1,0 +1,9 @@
+"""Registers a metric the fixture catalogue does not know (MET001)."""
+
+__all__ = ["emit"]
+
+
+def emit(reg):
+    reg.counter(
+        "obs.unlisted_total", unit="1", description="not in the catalogue"
+    ).inc()

@@ -1,0 +1,23 @@
+"""Drifted message definitions: undocumented field, wrong size constant,
+and a message type the cost model cannot price."""
+
+from dataclasses import dataclass
+
+__all__ = ["PagerankUpdate", "Unpriced", "MESSAGE_SIZE_BYTES"]
+
+MESSAGE_SIZE_BYTES = 99  # PRO002: the documented widths sum to 28
+
+
+@dataclass(frozen=True)
+class PagerankUpdate:
+    target_doc: int
+    value: float
+    hops: int  # PRO001: no row in the fixture PROTOCOL.md table
+
+    def size_bytes(self):
+        return MESSAGE_SIZE_BYTES
+
+
+@dataclass(frozen=True)
+class Unpriced:  # PRO003: no size_bytes property
+    payload: int

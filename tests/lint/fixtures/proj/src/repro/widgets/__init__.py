@@ -1,0 +1,5 @@
+"""Package exporting a symbol the fixture API.md does not list (API003)."""
+
+__all__ = ["undocumented_widget"]
+
+undocumented_widget = object()

@@ -1,0 +1,46 @@
+"""docs/STATIC_ANALYSIS.md ↔ rule registry lockstep.
+
+The catalogue documents every registered rule as a ``### <ID> — <name>``
+section; this test fails when a rule is added without a doc section or
+a section outlives its rule.
+"""
+
+import re
+from pathlib import Path
+
+from repro.lint import PARSE_RULE, all_rules
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "STATIC_ANALYSIS.md"
+
+_SECTION = re.compile(r"^###\s+([A-Z]{3}\d{3})\s+—\s+(\S+)", re.MULTILINE)
+
+
+def registry_rules():
+    return list(all_rules()) + [PARSE_RULE]
+
+
+def test_every_rule_has_a_doc_section():
+    text = DOC.read_text(encoding="utf-8")
+    documented = {m.group(1) for m in _SECTION.finditer(text)}
+    missing = {r.id for r in registry_rules()} - documented
+    assert not missing, f"rules without a docs/STATIC_ANALYSIS.md section: {missing}"
+
+
+def test_no_phantom_doc_sections():
+    text = DOC.read_text(encoding="utf-8")
+    documented = {m.group(1) for m in _SECTION.finditer(text)}
+    registered = {r.id for r in registry_rules()}
+    phantom = documented - registered
+    assert not phantom, f"doc sections for unregistered rules: {phantom}"
+
+
+def test_section_names_match_rule_names():
+    text = DOC.read_text(encoding="utf-8")
+    by_id = {r.id: r for r in registry_rules()}
+    for m in _SECTION.finditer(text):
+        rule = by_id.get(m.group(1))
+        if rule is not None:
+            assert m.group(2) == rule.name, (
+                f"{m.group(1)} documented as {m.group(2)!r}, "
+                f"registered as {rule.name!r}"
+            )

@@ -1,0 +1,61 @@
+"""Finding data shapes: JSON round trip, schema guard, sort order."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    SCHEMA_VERSION,
+    Finding,
+    Severity,
+    findings_from_json,
+    findings_to_json,
+    sort_findings,
+)
+
+
+def make(rule="DET001", path="a.py", line=1, col=0, message="m",
+         severity=Severity.ERROR, hint="h"):
+    return Finding(rule=rule, path=path, line=line, col=col,
+                   message=message, severity=severity, hint=hint)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        findings = [
+            make(),
+            make(rule="API002", path="b.py", line=9, col=4,
+                 severity=Severity.WARNING, hint=""),
+        ]
+        assert findings_from_json(findings_to_json(findings)) == sort_findings(findings)
+
+    def test_document_shape(self):
+        doc = json.loads(findings_to_json([make(severity=Severity.WARNING)]))
+        assert doc["schema_version"] == SCHEMA_VERSION
+        assert doc["summary"] == {"total": 1, "errors": 0, "warnings": 1}
+        assert doc["findings"][0]["severity"] == "warning"
+
+    def test_unknown_schema_version_rejected(self):
+        doc = json.dumps({"schema_version": SCHEMA_VERSION + 1, "findings": []})
+        with pytest.raises(ValueError, match="schema version"):
+            findings_from_json(doc)
+
+    def test_empty_round_trip(self):
+        assert findings_from_json(findings_to_json([])) == []
+
+
+class TestSortOrder:
+    def test_path_line_col_rule_order(self):
+        unsorted = [
+            make(path="b.py", line=1),
+            make(path="a.py", line=9),
+            make(path="a.py", line=2, col=5),
+            make(path="a.py", line=2, col=1, rule="FLT001"),
+            make(path="a.py", line=2, col=1, rule="DET003"),
+        ]
+        ordered = sort_findings(unsorted)
+        keys = [(f.path, f.line, f.col, f.rule) for f in ordered]
+        assert keys == sorted(keys)
+
+    def test_location_helper(self):
+        assert make(path="src/x.py", line=12).location() == "src/x.py:12"

@@ -1,0 +1,109 @@
+"""``repro lint`` CLI behaviour: exit codes, formats, --changed mode."""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.lint import PARSE_RULE, all_rules, findings_from_json
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PROJ = FIXTURES / "proj"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, capsys):
+        assert main(["lint", "--root", str(REPO_ROOT)]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_drifted_fixture_exits_nonzero(self, capsys):
+        assert main(["lint", "--root", str(PROJ)]) == 1
+        out = capsys.readouterr().out
+        for rule in ("DET001", "FLT001", "PRO001", "MET001", "API001"):
+            assert rule in out
+
+    def test_bad_baseline_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(
+            '{"entries": [{"rule": "DET001", "path": "x.py", '
+            '"justification": ""}]}',
+            encoding="utf-8",
+        )
+        code = main([
+            "lint", "--root", str(PROJ), "--baseline", str(bad),
+        ])
+        assert code == 2
+        assert "justification" in capsys.readouterr().err
+
+
+class TestFormats:
+    def test_json_output_round_trips(self, capsys):
+        assert main(["lint", "--root", str(PROJ), "--format", "json"]) == 1
+        findings = findings_from_json(capsys.readouterr().out)
+        assert findings
+        assert {f.rule for f in findings} >= {"DET001", "PRO002", "API004"}
+
+    def test_table_output_has_locations_and_hints(self, capsys):
+        main(["lint", "--root", str(PROJ)])
+        out = capsys.readouterr().out
+        assert "src/repro/core/unstable.py:" in out
+        assert "hint:" in out
+
+    def test_list_rules_covers_catalogue(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in all_rules():
+            assert rule.id in out
+        assert PARSE_RULE.id in out
+
+
+@pytest.mark.skipif(shutil.which("git") is None, reason="git unavailable")
+class TestChangedMode:
+    @pytest.fixture()
+    def git_repo(self, tmp_path):
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+                 *argv],
+                cwd=tmp_path, check=True, capture_output=True,
+            )
+
+        (tmp_path / "mod.py").write_text("VALUE = 1\n", encoding="utf-8")
+        git("init", "-q")
+        git("add", "mod.py")
+        git("commit", "-q", "-m", "seed")
+        return tmp_path
+
+    def test_no_changes_exits_zero(self, git_repo, capsys):
+        assert main(["lint", "--changed", "--root", str(git_repo)]) == 0
+        assert "no changed python files" in capsys.readouterr().out
+
+    def test_changed_file_is_linted(self, git_repo, capsys):
+        (git_repo / "mod.py").write_text(
+            "import random\nVALUE = random.random()\n", encoding="utf-8"
+        )
+        assert main(["lint", "--changed", "--root", str(git_repo)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_changed_restricted_to_src_when_present(self, git_repo, capsys):
+        # With a src/ tree, changed files elsewhere (tests, scripts) are
+        # outside the lint universe: exact float asserts in tests are fine.
+        def git(*argv):
+            subprocess.run(
+                ["git", "-c", "user.email=t@example.com", "-c", "user.name=t",
+                 *argv],
+                cwd=git_repo, check=True, capture_output=True,
+            )
+
+        (git_repo / "src").mkdir()
+        (git_repo / "src" / "lib.py").write_text("OK = 1\n", encoding="utf-8")
+        git("add", "src/lib.py")
+        git("commit", "-q", "-m", "add src")
+        (git_repo / "mod.py").write_text(
+            "import random\nVALUE = random.random()\n", encoding="utf-8"
+        )
+        assert main(["lint", "--changed", "--root", str(git_repo)]) == 0
+        assert "no changed python files" in capsys.readouterr().out

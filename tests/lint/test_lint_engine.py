@@ -1,0 +1,97 @@
+"""Engine behaviour: suppression, baselines, parse failures, file
+collection."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, collect_files, lint_paths
+from repro.lint.findings import BaselineEntry
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+class TestSuppression:
+    def test_noqa_with_rule_id_suppresses(self, tmp_path):
+        path = write(
+            tmp_path, "mod.py",
+            "import random\nrandom.random()  # repro: noqa[DET001]\n",
+        )
+        result = lint_paths(tmp_path, [path], include_project=False)
+        assert result.ok
+        assert result.suppressed == 1
+
+    def test_bare_noqa_suppresses_all_rules(self, tmp_path):
+        path = write(
+            tmp_path, "mod.py",
+            "import random\nrandom.random()  # repro: noqa\n",
+        )
+        result = lint_paths(tmp_path, [path], include_project=False)
+        assert result.ok and result.suppressed == 1
+
+    def test_noqa_for_other_rule_does_not_suppress(self, tmp_path):
+        path = write(
+            tmp_path, "mod.py",
+            "import random\nrandom.random()  # repro: noqa[FLT001]\n",
+        )
+        result = lint_paths(tmp_path, [path], include_project=False)
+        assert not result.ok
+        assert result.findings[0].rule == "DET001"
+
+
+class TestBaseline:
+    def test_baseline_entry_hides_finding(self, tmp_path):
+        path = write(tmp_path, "mod.py", "import random\nrandom.random()\n")
+        baseline = Baseline([
+            BaselineEntry(
+                rule="DET001", path="mod.py",
+                justification="fixture: grandfathered for the test",
+            )
+        ])
+        result = lint_paths(
+            tmp_path, [path], include_project=False, baseline=baseline
+        )
+        assert result.ok
+        assert result.baselined == 1
+
+    def test_baseline_requires_justification(self):
+        with pytest.raises(ValueError, match="justification"):
+            Baseline.load(
+                '{"entries": [{"rule": "DET001", "path": "x.py", '
+                '"justification": "  "}]}'
+            )
+
+    def test_baseline_round_trip(self):
+        baseline = Baseline([
+            BaselineEntry(
+                rule="API002", path="src/repro/x.py",
+                justification="helper intentionally unexported",
+                message_prefix="public function",
+            )
+        ])
+        assert Baseline.load(baseline.dump()) == baseline
+
+
+class TestParseFailures:
+    def test_unparseable_file_yields_lnt000(self):
+        result = lint_paths(FIXTURES / "broken")
+        assert [f.rule for f in result.findings] == ["LNT000"]
+        assert "syntax error" in result.findings[0].message
+        assert result.files_linted == 1
+
+
+class TestCollectFiles:
+    def test_sorted_deduped_pycache_excluded(self, tmp_path):
+        b = write(tmp_path, "b.py", "")
+        a = write(tmp_path, "a.py", "")
+        write(tmp_path, "__pycache__/c.py", "")
+        write(tmp_path, "notes.txt", "")
+        out = collect_files([tmp_path, a, b])
+        assert [p.name for p in out] == ["a.py", "b.py"]

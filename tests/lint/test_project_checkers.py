@@ -1,0 +1,83 @@
+"""Cross-file (project-scope) checkers over the drifted fixture project.
+
+``fixtures/proj`` is a miniature repo — ``src/repro/...`` plus a
+``docs/`` tree — seeded with exactly one violation per rule, so this
+is also the end-to-end proof that ``repro lint`` fails on a tree that
+violates any of the five checker families.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+PROJ = FIXTURES / "proj"
+
+EXPECTED_RULES = {
+    "DET001", "DET002", "DET003", "DET004",
+    "FLT001", "FLT002",
+    "PRO001", "PRO002", "PRO003",
+    "MET001", "MET002",
+    "API001", "API002", "API003", "API004",
+}
+
+
+def test_drifted_project_fires_every_checker_family():
+    result = lint_paths(PROJ)
+    assert not result.ok
+    assert {f.rule for f in result.findings} == EXPECTED_RULES
+
+
+def test_paths_reported_relative_to_root():
+    result = lint_paths(PROJ)
+    paths = {f.path for f in result.findings}
+    assert "src/repro/core/unstable.py" in paths
+    assert "docs/PROTOCOL.md" in paths  # doc-side PRO001 lands in the doc
+    assert "docs/OBSERVABILITY.md" in paths
+    assert "docs/API.md" in paths
+    assert not any(p.startswith("/") for p in paths)
+
+
+def test_pro001_fires_in_both_directions():
+    result = lint_paths(PROJ)
+    pro1 = [f for f in result.findings if f.rule == "PRO001"]
+    messages = " / ".join(f.message for f in pro1)
+    assert "hops" in messages  # declared but undocumented
+    assert "checksum" in messages  # documented but undeclared
+
+
+def test_pro002_reports_both_sizes():
+    result = lint_paths(PROJ)
+    (f,) = [f for f in result.findings if f.rule == "PRO002"]
+    assert "99" in f.message and "28" in f.message
+
+
+def test_metric_drift_names_both_metrics():
+    result = lint_paths(PROJ)
+    met = {f.rule: f.message for f in result.findings if f.rule.startswith("MET")}
+    assert "obs.unlisted_total" in met["MET001"]
+    assert "obs.ghost_metric" in met["MET002"]
+
+
+def test_project_checkers_skipped_without_project_pass():
+    result = lint_paths(PROJ, include_project=False)
+    ids = {f.rule for f in result.findings}
+    assert not any(r.startswith(("PRO", "MET")) or r in ("API003", "API004")
+                   for r in ids)
+    # File-scope rules still fire.
+    assert "DET001" in ids and "API001" in ids
+
+
+def test_findings_are_deterministic():
+    first = lint_paths(PROJ)
+    second = lint_paths(PROJ)
+    assert first.findings == second.findings
+
+
+def test_clean_real_tree_has_no_findings():
+    root = Path(__file__).resolve().parents[2]
+    result = lint_paths(root)
+    assert result.ok, "\n".join(
+        f"{f.path}:{f.line}: {f.rule} {f.message}" for f in result.findings
+    )
+    assert result.files_linted > 50

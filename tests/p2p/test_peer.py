@@ -235,3 +235,26 @@ class TestCrashVolatile:
     def test_reboot_republish_nothing_if_never_published(self, setup):
         _, peer_of, a, _ = setup
         assert a.reboot_republish(peer_of) == 0
+
+
+class TestMigrationDeterminism:
+    """Surrendered state must have a canonical (sorted) key order no
+    matter how the caller ordered the doc list — adopters insert in
+    returned order, so this keeps migrated peers' dict layouts
+    reproducible across runs."""
+
+    def test_surrender_state_order_canonical(self, setup):
+        g, _, a, _ = setup
+        state = a.surrender_documents([2, 0, 1])
+        assert list(state) == [0, 1, 2]
+        assert a.documents.size == 0
+
+    def test_surrender_adopt_round_trip(self, setup):
+        g, peer_of, a, b = setup
+        ranks_before = dict(a.rank)
+        state = a.surrender_documents([1, 0, 2])
+        b.adopt_documents(state)
+        assert list(b.documents) == [0, 1, 2, 3, 4, 5]
+        for doc in (0, 1, 2):
+            assert b.rank[doc] == ranks_before[doc]
+            assert b.owns(doc) and not a.owns(doc)

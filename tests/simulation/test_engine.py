@@ -138,3 +138,27 @@ class TestValidation:
         g, pl, net = build()
         with pytest.raises(ValueError):
             P2PPagerankSimulation(g, net).run(max_passes=0)
+
+
+class TestRehomingDeterminism:
+    """Re-homing migrates document state through set-typed containers
+    (the dead-peer set, surrendered-state dicts); repeated runs with
+    identical seeds must nevertheless be byte-identical."""
+
+    def _run_once(self):
+        g, pl, net = build(num_docs=100, num_peers=6, seed=7, ring=True)
+        sim = P2PPagerankSimulation(g, net, epsilon=1e-3, rehoming_after=2)
+        report = sim.run(
+            availability=FixedFractionChurn(6, 0.6, seed=42), max_passes=3000
+        )
+        return report, sim
+
+    def test_byte_identical_under_rehoming(self):
+        r1, s1 = self._run_once()
+        r2, s2 = self._run_once()
+        assert s1.traffic.migrations > 0  # the path was actually exercised
+        assert r1.ranks.tobytes() == r2.ranks.tobytes()
+        assert r1.passes == r2.passes
+        assert r1.total_messages == r2.total_messages
+        assert [p.messages for p in r1.history] == [p.messages for p in r2.history]
+        assert s1.traffic.migrations == s2.traffic.migrations

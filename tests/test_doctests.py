@@ -7,11 +7,13 @@ import pytest
 import repro._util.rng
 import repro._util.timers
 import repro.core.distributed
+import repro.lint
 
 MODULES = [
     repro._util.rng,
     repro._util.timers,
     repro.core.distributed,
+    repro.lint,
 ]
 
 
