@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench bench-full examples obs-demo clean
+.PHONY: install test lint typecheck bench bench-smoke bench-full examples obs-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -25,6 +25,11 @@ typecheck:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Pinned perf matrix → BENCH_pagerank.json (docs/PERFORMANCE.md); the
+# smoke variant regression-checks the 1k rows against the committed file.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro bench --smoke --compare
 
 # The paper's graph sizes (up to 5,000,000 nodes) — budget hours.
 bench-full:

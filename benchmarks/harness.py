@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Standalone entry point for the benchmark harness.
+
+Equivalent to ``python -m repro bench``; kept runnable directly from a
+source checkout (``python benchmarks/harness.py [--smoke] [--compare]``)
+without installing the package.  The implementation lives in
+:mod:`repro.bench`; see docs/PERFORMANCE.md for usage and the JSON
+schema.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import configure_parser, main  # noqa: E402
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(
+        prog="benchmarks/harness.py",
+        description="Pinned pagerank performance benchmark matrix",
+    )
+    configure_parser(parser)
+    sys.exit(main(parser.parse_args()))

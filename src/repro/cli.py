@@ -25,6 +25,11 @@ any Python:
     table or JSON — see docs/OBSERVABILITY.md for the metric
     catalogue.  ``--trace`` additionally captures a JSON-lines event
     trace.
+``bench``
+    Run the pinned performance benchmark matrix (both engines, loss
+    and churn variants) and write ``BENCH_pagerank.json``; with
+    ``--compare``, regression-check against the committed file
+    instead — see docs/PERFORMANCE.md.
 ``lint``
     Run the repository's AST-based invariant checkers (determinism,
     protocol/doc lockstep, metric catalogue, API surface, float
@@ -123,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the snapshot as JSON instead of a table")
     orep.add_argument("--trace", type=str, default=None,
                       help="also write a JSON-lines event trace to this file")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned performance benchmark matrix (docs/PERFORMANCE.md)",
+    )
+    from repro.bench import configure_parser as _configure_bench_parser
+
+    _configure_bench_parser(bench)
 
     lint = sub.add_parser(
         "lint",
@@ -371,6 +384,12 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import main as run_bench_cli
+
+    return run_bench_cli(args)
+
+
 def _cmd_lint(args) -> int:
     from repro.lint.cli import run as run_lint
 
@@ -388,6 +407,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "search": _cmd_search,
         "faults": _cmd_faults,
         "obs": _cmd_obs,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

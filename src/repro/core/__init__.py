@@ -29,7 +29,14 @@ from repro.core.incremental import (
     simulate_insert,
 )
 from repro.core.accelerated import aitken_pagerank, quadratic_extrapolation_pagerank
-from repro.core.kernels import EdgeWorkspace, relative_change
+from repro.core.kernels import (
+    CSRWorkspace,
+    EdgeWorkspace,
+    expand_rows,
+    kernel_backend,
+    make_workspace,
+    relative_change,
+)
 from repro.core.linear import ChaoticLinearSolver, LinearSystem
 from repro.core.personalized import (
     personalized_chaotic,
@@ -50,6 +57,10 @@ __all__ = [
     "PassStats",
     "ConvergenceTracker",
     "EdgeWorkspace",
+    "CSRWorkspace",
+    "make_workspace",
+    "kernel_backend",
+    "expand_rows",
     "relative_change",
     "PropagationResult",
     "propagate_increment",

@@ -29,6 +29,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro._util import check_threshold
+from repro.core.kernels import expand_rows
 from repro.core.pagerank import DEFAULT_DAMPING
 from repro.graphs.linkgraph import LinkGraph
 
@@ -246,13 +247,10 @@ def _run_propagation(
             truncated = True
             break
 
-        # Vectorized expansion of all senders' out-links.
-        counts = out_deg[senders]
-        total = int(counts.sum())
-        starts = indptr[senders]
-        cum = np.cumsum(counts)
-        # Edge positions: starts repeated, plus within-node offsets.
-        edge_pos = np.repeat(starts, counts) + np.arange(total) - np.repeat(cum - counts, counts)
+        # Vectorized expansion of all senders' out-links (shared CSR
+        # row-expansion kernel).
+        edge_pos, counts = expand_rows(indptr, senders)
+        total = edge_pos.size
         targets = indices[edge_pos]
         shares = np.repeat(damping * send_delta / counts, counts)
 

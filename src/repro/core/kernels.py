@@ -5,33 +5,102 @@ engine compute, once per pass, the quantity
 
     new(i) = (1 - d) + d * Σ_{j -> i} value(j) / outdeg(j)
 
-over every in-link of every document (paper Eq. 1).  The kernels here
-express that as two flat vectorized operations over precomputed
-per-edge arrays: a gather (``value[src] * inv_outdeg[src]``) and a
-scatter-add (``bincount`` by edge target).  No per-edge Python executes
-per pass, which is what lets the engines run the paper's multi-million
-node graphs.
+over every in-link of every document (paper Eq. 1).  Two kernel
+backends implement that contract, selected by the ``REPRO_KERNEL``
+environment variable (read once per workspace construction):
 
-:class:`EdgeWorkspace` holds the precomputed per-edge arrays plus the
-reusable output buffers (allocated once, reused every pass — "be easy
-on the memory" per the optimization guide).
+* ``csr`` (default) — :class:`CSRWorkspace`, a precomputed reverse-CSR
+  (in-adjacency) layout of flat numpy ``indptr``/``indices``/``data``
+  arrays (no scipy).  Besides the full pull it supports **selective
+  row recomputation** (:meth:`CSRWorkspace.pull_rows`): only the rows
+  whose in-edge inputs changed since the last pass are re-summed.  A
+  row whose inputs are untouched would re-sum to bit-identical values,
+  so skipping it cannot change any result — the speedup is mechanical,
+  not semantic (the differential suite proves byte-identical ranks and
+  pass counts against the naive backend on every seed).
+* ``naive`` — :class:`EdgeWorkspace`, the original per-edge layout
+  (full gather + scatter-add over every edge, every pass).  Kept as
+  the reference the differential tests compare against; select it with
+  ``REPRO_KERNEL=naive``.
+
+Bit-identity rests on one numerical fact the test suite pins down:
+``np.bincount`` accumulates its weights *sequentially* in array order,
+so per-target sums come out identical whether the edges are walked in
+forward (source-major) order or grouped per row of the reverse CSR —
+within one target, both orders list in-edges by ascending source.
+(``np.add.reduceat`` is *not* used: it sums pairwise, which rounds
+differently.)
+
+Workspaces hold precomputed arrays plus reusable output buffers
+(allocated once, reused every pass — "be easy on the memory" per the
+optimization guide).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
 from repro.graphs.linkgraph import LinkGraph
 
-__all__ = ["EdgeWorkspace", "relative_change"]
+__all__ = [
+    "EdgeWorkspace",
+    "CSRWorkspace",
+    "Workspace",
+    "kernel_backend",
+    "make_workspace",
+    "expand_rows",
+    "relative_change",
+]
+
+#: Environment variable selecting the kernel backend (``csr``/``naive``).
+_KERNEL_ENV = "REPRO_KERNEL"
+
+
+def kernel_backend() -> str:
+    """The kernel backend selected by ``REPRO_KERNEL`` (default ``csr``).
+
+    Read at every workspace construction, so tests can flip the
+    environment between engine instantiations.  Unknown values raise
+    immediately rather than silently running the wrong kernel.
+    """
+    backend = os.environ.get(_KERNEL_ENV, "csr").strip().lower()
+    if backend not in ("csr", "naive"):
+        raise ValueError(
+            f"{_KERNEL_ENV} must be 'csr' or 'naive', got {backend!r}"
+        )
+    return backend
+
+
+def expand_rows(
+    indptr: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat positions of every CSR entry of ``rows``, plus row lengths.
+
+    Returns ``(pos, lens)`` where ``pos`` indexes the CSR data/indices
+    arrays and ``lens[k]`` is the entry count of ``rows[k]``; entries of
+    one row are contiguous in ``pos`` and keep their CSR order.  Pure
+    vectorized index arithmetic, O(total entries) — shared by the
+    selective pull kernel, the engines' frontier expansion, and the
+    incremental-update propagation.
+    """
+    starts = indptr[rows]
+    lens = indptr[rows + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), lens
+    cum = np.cumsum(lens)
+    pos = np.repeat(starts, lens) + np.arange(total, dtype=np.int64)
+    pos -= np.repeat(cum - lens, lens)
+    return pos, lens
 
 
 @dataclass
 class EdgeWorkspace:
-    """Precomputed per-edge arrays + scratch buffers for pass kernels.
+    """Per-edge arrays + scratch buffers (the ``naive`` kernel backend).
 
     Attributes
     ----------
@@ -121,6 +190,163 @@ class EdgeWorkspace:
         np.multiply(acc, damping, out=out)
         out += 1.0 - damping
         return out
+
+
+@dataclass
+class CSRWorkspace:
+    """Reverse-CSR pull kernel with selective row recomputation.
+
+    The layout is three flat numpy arrays (no scipy): ``rindptr`` of
+    length ``N + 1``, ``rindices`` listing the *source* document of
+    every in-edge grouped by target, and ``rdata`` carrying the edge
+    weight ``1/outdeg(source)``.  Within one target the sources appear
+    in ascending order — the same per-target order ``np.bincount``
+    accumulates the forward (source-major) edge walk in, which is what
+    makes every kernel here bit-identical to :class:`EdgeWorkspace`.
+
+    The forward per-edge arrays (``src``/``dst``/``edge_weight``) are
+    kept too: the churn engine's §3.1 per-edge delivered-value state
+    and the frontier expansion of the selective path both need them.
+
+    Attributes
+    ----------
+    rindptr:
+        In-adjacency row pointers (length N + 1).
+    rindices:
+        In-edge source document per reverse-CSR entry (length E).
+    rdata:
+        ``inv_outdeg[rindices]`` — the weight of each in-edge.
+    """
+
+    num_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+    inv_outdeg: np.ndarray
+    edge_weight: np.ndarray
+    rindptr: np.ndarray
+    rindices: np.ndarray
+    rdata: np.ndarray
+    _contrib: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    _rev_rowids: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @classmethod
+    def from_graph(cls, graph: LinkGraph) -> "CSRWorkspace":
+        """Build forward + reverse layouts for ``graph`` (O(E) setup)."""
+        n = graph.num_nodes
+        out_deg = graph.out_degrees()
+        src = np.repeat(np.arange(n, dtype=np.int64), out_deg)
+        dst = graph.indices
+        inv = np.zeros(n, dtype=np.float64)
+        nz = out_deg > 0
+        inv[nz] = 1.0 / out_deg[nz]
+        edge_weight = inv[src]
+        # Reverse CSR: stable sort of the forward edge list by target
+        # keeps, within each target, the ascending-source order the
+        # forward bincount accumulates in.
+        order = np.argsort(dst, kind="stable")
+        rindices = src[order]
+        rdata = edge_weight[order]
+        rindptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(dst, minlength=n), out=rindptr[1:])
+        ws = cls(
+            num_nodes=n,
+            src=src,
+            dst=dst,
+            inv_outdeg=inv,
+            edge_weight=edge_weight,
+            rindptr=rindptr,
+            rindices=rindices,
+            rdata=rdata,
+        )
+        ws._contrib = np.empty(src.size, dtype=np.float64)
+        ws._rev_rowids = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(rindptr)
+        )
+        return ws
+
+    # ------------------------------------------------------------------
+    def pull(self, values: np.ndarray, damping: float, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """One full pull pass over the reverse layout.
+
+        Bit-identical to :meth:`EdgeWorkspace.pull`: the per-target
+        accumulation order (ascending source) and the scalar epilogue
+        (multiply by ``d``, add ``1 - d``) are the same.
+        """
+        np.multiply(values[self.rindices], self.rdata, out=self._contrib)
+        acc = np.bincount(
+            self._rev_rowids, weights=self._contrib, minlength=self.num_nodes
+        )
+        if out is None:
+            out = np.empty(self.num_nodes, dtype=np.float64)
+        np.multiply(acc, damping, out=out)
+        out += 1.0 - damping
+        return out
+
+    def pull_rows(
+        self, values: np.ndarray, damping: float, rows: np.ndarray
+    ) -> np.ndarray:
+        """Selective pull: recompute only ``rows`` (sorted node ids).
+
+        Returns the new rank of each requested row, bit-identical to
+        what a full pull would produce there: each row's in-edges are
+        walked in the same ascending-source order and summed by the
+        same sequential ``bincount``.
+        """
+        pos, lens = expand_rows(self.rindptr, rows)
+        k = rows.size
+        if pos.size == 0:
+            return np.full(k, 1.0 - damping, dtype=np.float64)
+        contrib = values[self.rindices[pos]]
+        contrib *= self.rdata[pos]
+        local = np.repeat(np.arange(k, dtype=np.int64), lens)
+        acc = np.bincount(local, weights=contrib, minlength=k)
+        np.multiply(acc, damping, out=acc)
+        acc += 1.0 - damping
+        return acc
+
+    def out_neighbors_mask(
+        self, rows: np.ndarray, indptr: np.ndarray, indices: np.ndarray,
+        out: np.ndarray,
+    ) -> np.ndarray:
+        """Mark (in ``out``, a length-N bool buffer) every out-link
+        target of ``rows`` — the frontier whose inputs just changed."""
+        out[:] = False
+        pos, _ = expand_rows(indptr, rows)
+        if pos.size:
+            out[indices[pos]] = True
+        return out
+
+    def pull_edges(
+        self,
+        edge_values: np.ndarray,
+        damping: float,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Pull pass where each edge carries its own delivered value
+        (§3.1 churn state; see :meth:`EdgeWorkspace.pull_edges`).
+
+        Operates on the forward per-edge arrays, so it is the very same
+        computation as the naive backend's.
+        """
+        np.multiply(edge_values, self.edge_weight, out=self._contrib)
+        acc = np.bincount(self.dst, weights=self._contrib, minlength=self.num_nodes)
+        if out is None:
+            out = np.empty(self.num_nodes, dtype=np.float64)
+        np.multiply(acc, damping, out=out)
+        out += 1.0 - damping
+        return out
+
+
+#: Either kernel backend; engines accept both interchangeably.
+Workspace = Union[CSRWorkspace, EdgeWorkspace]
+
+
+def make_workspace(graph: LinkGraph) -> Workspace:
+    """Build the pass-kernel workspace for ``graph`` under the backend
+    selected by ``REPRO_KERNEL`` (see :func:`kernel_backend`)."""
+    if kernel_backend() == "naive":
+        return EdgeWorkspace.from_graph(graph)
+    return CSRWorkspace.from_graph(graph)
 
 
 def relative_change(old: np.ndarray, new: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:

@@ -31,7 +31,7 @@ from typing import Optional
 import numpy as np
 
 from repro._util import check_positive, check_threshold
-from repro.core.kernels import EdgeWorkspace, relative_change
+from repro.core.kernels import Workspace, make_workspace, relative_change
 from repro.graphs.linkgraph import LinkGraph
 
 __all__ = ["PagerankResult", "pagerank_reference", "DEFAULT_DAMPING"]
@@ -72,7 +72,7 @@ def pagerank_reference(
     max_iter: int = 10_000,
     init_rank: float = 1.0,
     dangling: str = "none",
-    workspace: Optional[EdgeWorkspace] = None,
+    workspace: Optional[Workspace] = None,
 ) -> PagerankResult:
     """Solve Eq. 1 synchronously to tolerance ``tol``.
 
@@ -96,7 +96,8 @@ def pagerank_reference(
         ``"none"`` (paper-faithful: dangling documents contribute no
         rank) or ``"redistribute"`` (spread dangling rank uniformly).
     workspace:
-        Optional precomputed :class:`EdgeWorkspace`, for callers that
+        Optional precomputed kernel workspace (either backend, see
+        :func:`repro.core.kernels.make_workspace`), for callers that
         run several solves on the same graph.
 
     Returns
@@ -115,7 +116,7 @@ def pagerank_reference(
     if n == 0:
         return PagerankResult(np.zeros(0), 0, True, 0.0)
 
-    ws = workspace if workspace is not None else EdgeWorkspace.from_graph(graph)
+    ws = workspace if workspace is not None else make_workspace(graph)
     dangling_mask = graph.out_degrees() == 0 if dangling == "redistribute" else None
 
     rank = np.full(n, float(init_rank), dtype=np.float64)

@@ -19,10 +19,11 @@ the discrete-event simulator drives asynchronously.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.kernels import expand_rows, kernel_backend, relative_change
 from repro.graphs.linkgraph import LinkGraph
 from repro.p2p.messages import Outbox, PagerankUpdate
 
@@ -114,6 +115,63 @@ class Peer:
         self._inv_out = np.zeros(graph.num_nodes, dtype=np.float64)
         nz = out_deg > 0
         self._inv_out[nz] = 1.0 / out_deg[nz]
+        # Per-peer reverse sub-CSR shard (``csr`` kernel backend only).
+        # Built lazily from the global reverse graph; invalidated when
+        # the local document set changes (surrender/adopt).  The shard
+        # accumulates with np.bincount, whose sequential accumulation
+        # order over ``in_links(doc)`` is bit-identical to the
+        # per-edge Python loop in :meth:`_fresh_rank`.
+        self._use_csr = kernel_backend() == "csr"
+        self._lsrc: Optional[np.ndarray] = None  # flat in-link sources
+        self._lrow: Optional[np.ndarray] = None  # local row id per in-link
+        self._lslot: Optional[np.ndarray] = None  # visible-slot per in-link
+        self._lw: Optional[np.ndarray] = None  # 1/outdeg per in-link
+        self._rank_arr: Optional[np.ndarray] = None  # rank, documents order
+        self._vis_ids: Optional[np.ndarray] = None  # global ids, sorted
+        self._vis_index: Optional[Dict[int, int]] = None  # global id -> slot
+        self._visible: Optional[np.ndarray] = None  # compact visible values
+
+    # ------------------------------------------------------------------
+    def _invalidate_shard(self) -> None:
+        """Drop the vectorized shard; the next pass rebuilds it."""
+        self._lsrc = None
+        self._lrow = None
+        self._lslot = None
+        self._lw = None
+        self._rank_arr = None
+        self._vis_ids = None
+        self._vis_index = None
+        self._visible = None
+
+    def _ensure_shard(self) -> None:
+        """Build the per-peer reverse sub-CSR over the local documents.
+
+        The shard is the flattened concatenation of
+        ``graph.in_links(doc)`` for the sorted local documents, plus a
+        *compact* visible-value array covering exactly the global ids
+        this peer ever reads (its in-link sources and its own docs) —
+        O(local in-edges) memory rather than O(N) per peer.
+        """
+        if self._lsrc is not None:
+            return
+        docs = self.documents
+        rev = self.graph.reverse()
+        pos, lens = expand_rows(rev.indptr, docs)
+        lsrc = rev.indices[pos]
+        self._lsrc = lsrc
+        self._lrow = np.repeat(np.arange(docs.size, dtype=np.int64), lens)
+        self._lw = self._inv_out[lsrc]
+        need = np.unique(np.concatenate([lsrc, docs])) if docs.size else docs
+        self._vis_ids = need
+        self._vis_index = {int(g): i for i, g in enumerate(need)}
+        visible = np.empty(need.size, dtype=np.float64)
+        for i, g in enumerate(need):
+            visible[i] = self.visible_value(int(g))
+        self._visible = visible
+        self._lslot = np.searchsorted(need, lsrc)
+        self._rank_arr = np.array(
+            [self.rank[int(d)] for d in docs], dtype=np.float64
+        )
 
     # ------------------------------------------------------------------
     def owns(self, doc: int) -> bool:
@@ -149,6 +207,10 @@ class Peer:
                 return False
             self._remote_versions[update.source_doc] = update.version
         self.remote_values[update.source_doc] = update.value
+        if self._visible is not None and update.source_doc not in self._local:
+            slot = self._vis_index.get(update.source_doc)  # type: ignore[union-attr]
+            if slot is not None:
+                self._visible[slot] = update.value
         return True
 
     def receive_batch(self, updates: Iterable[PagerankUpdate]) -> int:
@@ -180,7 +242,8 @@ class Peer:
         -------
         PassOutcome
         """
-        graph = self.graph
+        if self._use_csr:
+            return self._compute_pass_csr(damping, epsilon, peer_of)
         active = 0
         staged = 0
         max_change = 0.0
@@ -206,6 +269,54 @@ class Peer:
                 staged += self._stage_updates(doc, new, peer_of)
         return PassOutcome(
             active_documents=active,
+            max_rel_change=max_change,
+            staged_updates=staged,
+            published_docs=tuple(published),
+        )
+
+    def _compute_pass_csr(
+        self,
+        damping: float,
+        epsilon: float,
+        peer_of: np.ndarray,
+    ) -> PassOutcome:
+        """Sharded pass: one bincount segment-sum over the local
+        in-link shard instead of a per-edge Python loop.
+
+        Bit-identical to the naive path: bincount accumulates each
+        row's contributions sequentially in ``in_links(doc)`` order,
+        ``damping * total + (1 - damping)`` commutes with the scalar
+        expression in :meth:`_fresh_rank`, and the publish loop walks
+        active documents in the same ascending order.
+        """
+        self._ensure_shard()
+        assert self._visible is not None and self._rank_arr is not None
+        docs = self.documents
+        k = docs.size
+        contrib = self._visible[self._lslot] * self._lw
+        sums = np.bincount(self._lrow, weights=contrib, minlength=k)
+        new = sums * damping
+        new += 1.0 - damping
+        old = self._rank_arr
+        rel = relative_change(old, new)
+        max_change = float(rel.max()) if k else 0.0
+        # Sync the rank dict only where the bits actually changed.
+        for i in np.flatnonzero(new != old):
+            self.rank[int(docs[i])] = float(new[i])
+        self._rank_arr = new
+        staged = 0
+        published: List[int] = []
+        vis_index = self._vis_index
+        assert vis_index is not None
+        for i in np.flatnonzero(rel > epsilon):
+            doc = int(docs[i])
+            value = float(new[i])
+            self.published[doc] = value
+            self._visible[vis_index[doc]] = value
+            published.append(doc)
+            staged += self._stage_updates(doc, value, peer_of)
+        return PassOutcome(
+            active_documents=len(published),
             max_rel_change=max_change,
             staged_updates=staged,
             published_docs=tuple(published),
@@ -278,8 +389,13 @@ class Peer:
         old = self.published[doc] if gate == "published" else self.rank[doc]
         rel = abs(old - new) / new if new != 0 else 0.0
         self.rank[doc] = new
+        if self._rank_arr is not None:
+            self._rank_arr[int(np.searchsorted(self.documents, doc))] = new
         if rel > epsilon:
             self.published[doc] = new
+            if self._visible is not None:
+                assert self._vis_index is not None
+                self._visible[self._vis_index[doc]] = new
             self._stage_updates(doc, new, peer_of)
             return rel, True
         return rel, False
@@ -385,6 +501,7 @@ class Peer:
             )
             self._local.discard(doc)
         self.documents = np.asarray(sorted(self._local), dtype=np.int64)
+        self._invalidate_shard()
         return state
 
     def export_inlink_knowledge(self, docs) -> List[PagerankUpdate]:
@@ -433,3 +550,4 @@ class Peer:
             if version:
                 self._publish_version[doc] = int(version)
         self.documents = np.asarray(sorted(self._local), dtype=np.int64)
+        self._invalidate_shard()

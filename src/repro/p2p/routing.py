@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Sequence
 
 from repro.p2p.cache import LocationCache
 from repro.p2p.chord import ChordRing
@@ -40,6 +40,21 @@ class DeliveryPolicy(ABC):
         """Hops consumed delivering one update from ``sender_peer`` to
         the peer storing ``target_doc``."""
 
+    def delivery_hops_batch(
+        self, sender_peer: int, target_docs: Sequence[int]
+    ) -> int:
+        """Total hops for one sender's batch of deliveries.
+
+        The default prices each delivery individually in order, so
+        stateful policies (location caches, per-route counters) observe
+        the exact same sequence as repeated :meth:`delivery_hops`
+        calls; stateless policies override this with an O(1) answer.
+        """
+        total = 0
+        for doc in target_docs:
+            total += self.delivery_hops(sender_peer, doc)
+        return total
+
     def reset(self) -> None:
         """Clear any per-run state (caches, counters)."""
 
@@ -50,6 +65,11 @@ class OracleDirectDelivery(DeliveryPolicy):
 
     def delivery_hops(self, sender_peer: int, target_doc: int) -> int:
         return 1
+
+    def delivery_hops_batch(
+        self, sender_peer: int, target_docs: Sequence[int]
+    ) -> int:
+        return len(target_docs)
 
 
 class CachedDirectDelivery(DeliveryPolicy):

@@ -23,6 +23,7 @@ import numpy as np
 from repro._util import check_positive, check_threshold
 from repro.core.convergence import ConvergenceTracker, PassStats, RunReport
 from repro.core.distributed import AvailabilityModel
+from repro.core.kernels import expand_rows
 from repro.core.pagerank import DEFAULT_DAMPING
 from repro.faults.plan import FaultPlan
 from repro.faults.transport import (
@@ -423,17 +424,20 @@ class P2PPagerankSimulation:
                         computed += len(peer.documents)
                         if outcome.max_rel_change > max_change:
                             max_change = outcome.max_rel_change
-                        self._dirty.difference_update(int(d) for d in peer.documents)
+                        self._dirty.difference_update(peer._local)
                         published_docs.extend(outcome.published_docs)
                     # Published values are instantly visible to co-located
                     # consumers, who now owe a recompute (the vectorized engine
                     # marks these via its per-edge dirty pass); remote targets
-                    # are marked at delivery below.
-                    for doc in published_docs:
-                        owner = int(self._peer_of[doc])
-                        for target in self.graph.out_links(doc):
-                            if int(self._peer_of[int(target)]) == owner:
-                                self._dirty.add(int(target))
+                    # are marked at delivery below.  One segment expansion per
+                    # pass over all publishers replaces the per-edge loop.
+                    if published_docs:
+                        pubs = np.asarray(published_docs, dtype=np.int64)
+                        pos, lens = expand_rows(self.graph.indptr, pubs)
+                        targets = self.graph.indices[pos]
+                        owners = np.repeat(self._peer_of[pubs], lens)
+                        colocated = targets[self._peer_of[targets] == owners]
+                        self._dirty.update(int(t) for t in colocated)
 
                     # (3) drain outboxes: deliver or defer (reliable
                     #     transport: submit each batch as a new flight)
@@ -649,13 +653,11 @@ class P2PPagerankSimulation:
                 self.traffic.migrations += 1
 
     def _mark_dirty(self, updates) -> None:
-        for u in updates:
-            self._dirty.add(u.target_doc)
+        self._dirty.update(u.target_doc for u in updates)
 
     def _charge_hops(self, sender_peer: int, updates) -> None:
         if self.delivery_policy is None:
             return
-        for u in updates:
-            self.traffic.routing_hops += self.delivery_policy.delivery_hops(
-                sender_peer, u.target_doc
-            )
+        self.traffic.routing_hops += self.delivery_policy.delivery_hops_batch(
+            sender_peer, [u.target_doc for u in updates]
+        )

@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
-from scipy.sparse import spmatrix
 
 from repro._util import check_positive
 from repro.obs import get_registry
@@ -100,16 +99,19 @@ def total_time_serialized(
     return seconds
 
 
-def pass_time_parallel(link_messages: spmatrix | np.ndarray, model: TransferModel) -> float:
+def pass_time_parallel(link_messages: np.ndarray, model: TransferModel) -> float:
     """Literal Eq. 4 for one pass with peers transferring in parallel.
 
     Parameters
     ----------
     link_messages:
-        ``(P, P)`` matrix whose ``[i, j]`` entry is the number of
-        update messages peer ``i`` sends peer ``j`` this pass (e.g.
+        Either a ``(P, P)`` matrix whose ``[i, j]`` entry is the number
+        of update messages peer ``i`` sends peer ``j`` this pass (e.g.
         :meth:`repro.p2p.network.P2PNetwork.peer_link_matrix` for a
-        worst-case all-active pass).
+        worst-case all-active pass), or an already-reduced length-``P``
+        vector of per-peer send counts (the sharded simulator's
+        per-peer accounting).  A scipy sparse matrix is also accepted,
+        duck-typed — scipy itself is not required.
 
     Returns
     -------
@@ -120,7 +122,8 @@ def pass_time_parallel(link_messages: spmatrix | np.ndarray, model: TransferMode
     if hasattr(link_messages, "toarray"):
         per_peer = np.asarray(link_messages.sum(axis=1)).ravel()
     else:
-        per_peer = np.asarray(link_messages).sum(axis=1)
+        arr = np.asarray(link_messages)
+        per_peer = arr if arr.ndim == 1 else arr.sum(axis=1)
     slowest = float(per_peer.max()) if per_peer.size else 0.0
     seconds = (
         model.compute_time_per_pass

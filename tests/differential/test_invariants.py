@@ -1,0 +1,184 @@
+"""Property-style invariant sweeps (stdlib + pytest parametrize only).
+
+Three families of algebraic invariants that must hold for *every*
+seed, not just the golden ones:
+
+* **mass conservation** — on a graph with no dangling nodes, one
+  synchronous pull pass maps total rank ``S`` to ``(1-d)·N + d·S``;
+  with ε = 0 the chaotic engine is exactly synchronous, so the
+  recurrence must hold at every recorded pass (and every rank is
+  bounded below by ``1-d``);
+* **migration preserves state** — surrendering documents to another
+  peer and adopting them moves the (rank, published, version) tuples
+  without perturbing a single bit, so the global rank multiset is
+  unchanged by re-homing;
+* **zero-rate fault plans draw no randomness** — a ``FaultPlan`` whose
+  spec injects nothing must never advance its RNG, so adding an inert
+  plan cannot perturb a seeded run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChaoticPagerank
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.graphs import LinkGraph, broder_graph
+from repro.p2p import DocumentPlacement
+from repro.p2p.peer import Peer
+
+DAMPING = 0.85
+
+
+def _no_dangling_graph(n: int, seed: int) -> LinkGraph:
+    """Ring + seeded chords: every node has out-degree ≥ 1."""
+    rng = np.random.default_rng(seed)
+    ring_src = np.arange(n, dtype=np.int64)
+    ring_dst = (ring_src + 1) % n
+    chords = rng.integers(0, n, size=(2, 2 * n))
+    src = np.concatenate([ring_src, chords[0]])
+    dst = np.concatenate([ring_dst, chords[1]])
+    keep = src != dst
+    return LinkGraph.from_edges(
+        np.stack([src[keep], dst[keep]], axis=1), num_nodes=n
+    )
+
+
+class TestMassConservation:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_pass_recurrence(self, seed):
+        """sum(rank after pass) == (1-d)·N + d·sum(rank before)."""
+        n = 200
+        graph = _no_dangling_graph(n, seed)
+        sums = []
+        # ε far below any representable relative change: every changed
+        # document publishes, so last-sent always equals current rank
+        # and the chaotic pass is exactly the synchronous operator.
+        report = ChaoticPagerank(graph, epsilon=1e-15, damping=DAMPING).run(
+            max_passes=40,
+            on_pass=lambda t, ranks: sums.append(float(ranks.sum())),
+        )
+        assert len(sums) >= 2
+        prev = float(n)  # initial rank 1.0 everywhere
+        for current in sums:
+            expected = (1.0 - DAMPING) * n + DAMPING * prev
+            assert current == pytest.approx(expected, rel=1e-12)
+            prev = current
+        del report
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_rank_floor(self, seed):
+        """Every computed rank is at least the teleport mass 1-d."""
+        graph = broder_graph(300, seed=seed)
+        report = ChaoticPagerank(graph, epsilon=1e-4, damping=DAMPING).run(
+            keep_history=False
+        )
+        assert float(report.ranks.min()) >= (1.0 - DAMPING) - 1e-12
+
+
+class TestMigrationPreservesState:
+    def _peers(self, seed):
+        n, num_peers = 240, 6
+        graph = broder_graph(n, seed=seed)
+        placement = DocumentPlacement.random(n, num_peers, seed=seed + 1)
+        peer_of = placement.assignment.copy()
+        peers = [
+            Peer(p, np.flatnonzero(peer_of == p), graph)
+            for p in range(num_peers)
+        ]
+        # A few warm-up passes so ranks/versions are non-trivial.
+        for _ in range(3):
+            for peer in peers:
+                peer.compute_pass(DAMPING, 1e-4, peer_of)
+            for peer in peers:
+                for batch in peer.outbox.batches():
+                    peers[batch.receiver_peer].receive_batch(batch.updates)
+        return peers, peer_of
+
+    @staticmethod
+    def _rank_multiset(peers):
+        return sorted(
+            (doc, peer.rank[doc], peer.published[doc])
+            for peer in peers
+            for doc in peer.rank
+        )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_surrender_adopt_roundtrip(self, seed):
+        peers, _ = self._peers(seed)
+        before = self._rank_multiset(peers)
+        donor, taker = peers[0], peers[1]
+        docs = [int(d) for d in donor.documents[: max(1, donor.documents.size // 2)]]
+        knowledge = donor.export_inlink_knowledge(docs)
+        state = donor.surrender_documents(docs)
+        taker.adopt_documents(state)
+        taker.receive_batch(knowledge)
+        after = self._rank_multiset(peers)
+        assert before == after, "migration changed the global rank multiset"
+        assert all(taker.owns(d) for d in docs)
+        assert not any(donor.owns(d) for d in docs)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_migrated_docs_keep_computing_identically(self, seed):
+        """After a migration round-trip the peer set computes the same
+        values it would have without the detour."""
+        peers_a, peer_of_a = self._peers(seed)
+        peers_b, peer_of_b = self._peers(seed)
+        # Round-trip half of peer 0's documents through peer 1 in B.
+        donor, taker = peers_b[0], peers_b[1]
+        docs = [int(d) for d in donor.documents[: donor.documents.size // 2]]
+        if docs:
+            knowledge = donor.export_inlink_knowledge(docs)
+            state = donor.surrender_documents(docs)
+            taker.adopt_documents(state)
+            taker.receive_batch(knowledge)
+            knowledge = taker.export_inlink_knowledge(docs)
+            state = taker.surrender_documents(docs)
+            donor.adopt_documents(state)
+            donor.receive_batch(knowledge)
+        for group, peer_of in ((peers_a, peer_of_a), (peers_b, peer_of_b)):
+            for peer in group:
+                peer.compute_pass(DAMPING, 1e-4, peer_of)
+        assert self._rank_multiset(peers_a) == self._rank_multiset(peers_b)
+
+
+class TestInertFaultPlanDrawsNothing:
+    @staticmethod
+    def _rng_state(plan):
+        return repr(plan._rng.bit_generator.state)
+
+    def test_zero_rate_rolls_draw_nothing(self):
+        plan = FaultPlan(FaultSpec(), seed=123)
+        before = self._rng_state(plan)
+        for pass_index in range(5):
+            for sender in range(3):
+                for receiver in range(3):
+                    plan.roll_send(pass_index, sender, receiver)
+            plan.roll_ack_drop(pass_index)
+            plan.edge_delivery_mask(pass_index, 50)
+            plan.crashes_at(pass_index)
+            plan.partitions_active(pass_index)
+        assert self._rng_state(plan) == before, (
+            "an inert fault plan advanced its RNG"
+        )
+
+    def test_inert_plan_does_not_perturb_run(self):
+        """A zero-rate plan leaves the simulator byte-identical to no
+        plan at all (modulo transport accounting)."""
+        from repro.p2p import P2PNetwork
+        from repro.simulation import P2PPagerankSimulation
+
+        n, num_peers = 200, 8
+        graph = broder_graph(n, seed=3)
+        placement = DocumentPlacement.random(n, num_peers, seed=4)
+
+        net_a = P2PNetwork(num_peers, placement, build_ring=False)
+        plain = P2PPagerankSimulation(graph, net_a, epsilon=1e-4).run(
+            keep_history=False
+        )
+        net_b = P2PNetwork(num_peers, placement, build_ring=False)
+        inert = P2PPagerankSimulation(
+            graph, net_b, epsilon=1e-4, faults=FaultPlan(FaultSpec(), seed=9)
+        ).run(keep_history=False)
+
+        assert np.array_equal(plain.ranks, inert.ranks)
+        assert plain.passes == inert.passes

@@ -1,0 +1,165 @@
+"""Differential lockdown of the CSR kernel rebuild.
+
+The ``csr`` backend (sharded segment-sum kernels) must be **byte
+identical** to the ``naive`` per-edge backend it replaced: same seeds
+in, same rank bits out, same pass counts, same messages and bytes on
+the wire.  These tests sweep ≥20 seeds × 3 sizes through both backends
+of the vectorized engine, plus churn and loss variants, and a protocol
+simulator sweep — any accumulation-order or gating drift fails loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChaoticPagerank, CSRWorkspace, EdgeWorkspace, make_workspace
+from repro.core.kernels import _KERNEL_ENV
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.graphs import broder_graph
+from repro.p2p import DocumentPlacement, FixedFractionChurn, P2PNetwork
+from repro.p2p.messages import MESSAGE_SIZE_BYTES
+from repro.simulation import P2PPagerankSimulation
+
+SEEDS = range(20)
+SIZES = (120, 400, 900)
+EPSILON = 1e-4
+
+
+def _engine_run(graph, placement, peers, *, churn_seed=None):
+    availability = (
+        FixedFractionChurn(peers, 0.75, seed=churn_seed)
+        if churn_seed is not None
+        else None
+    )
+    report = ChaoticPagerank(
+        graph, placement.assignment, num_peers=peers, epsilon=EPSILON
+    ).run(availability=availability, keep_history=False)
+    return report
+
+
+def _sim_run(graph, placement, peers, *, loss=0.0, loss_seed=0):
+    network = P2PNetwork(peers, placement, build_ring=False)
+    faults = (
+        FaultPlan(FaultSpec(drop_rate=loss), seed=loss_seed) if loss else None
+    )
+    sim = P2PPagerankSimulation(graph, network, epsilon=EPSILON, faults=faults)
+    report = sim.run(keep_history=False, max_passes=5_000)
+    return report, sim.traffic
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_engine_backends_byte_identical(monkeypatch, seed, size):
+    """Same seed → same rank bits, pass count, and message count on
+    both kernel backends of the vectorized engine."""
+    graph = broder_graph(size, seed=seed)
+    peers = max(4, size // 30)
+    placement = DocumentPlacement.random(size, peers, seed=seed + 1)
+
+    monkeypatch.setenv(_KERNEL_ENV, "naive")
+    naive = _engine_run(graph, placement, peers)
+    monkeypatch.setenv(_KERNEL_ENV, "csr")
+    csr = _engine_run(graph, placement, peers)
+
+    assert np.array_equal(naive.ranks, csr.ranks), "rank bits diverged"
+    assert naive.passes == csr.passes
+    assert naive.total_messages == csr.total_messages
+    assert (
+        naive.total_messages * MESSAGE_SIZE_BYTES
+        == csr.total_messages * MESSAGE_SIZE_BYTES
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_engine_backends_identical_under_churn(monkeypatch, seed):
+    """Byte-identity must survive the churn path (availability < 1)."""
+    size = 400
+    graph = broder_graph(size, seed=seed)
+    peers = 16
+    placement = DocumentPlacement.random(size, peers, seed=seed + 1)
+
+    monkeypatch.setenv(_KERNEL_ENV, "naive")
+    naive = _engine_run(graph, placement, peers, churn_seed=seed + 2)
+    monkeypatch.setenv(_KERNEL_ENV, "csr")
+    csr = _engine_run(graph, placement, peers, churn_seed=seed + 2)
+
+    assert np.array_equal(naive.ranks, csr.ranks)
+    assert naive.passes == csr.passes
+    assert naive.total_messages == csr.total_messages
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("seed", range(8))
+def test_simulator_backends_byte_identical(monkeypatch, seed, size):
+    """The sharded peer compute path must reproduce the per-edge
+    Python path bit for bit: ranks, passes, and bytes on the wire."""
+    graph = broder_graph(size, seed=seed)
+    peers = 12
+    placement = DocumentPlacement.random(size, peers, seed=seed + 1)
+
+    monkeypatch.setenv(_KERNEL_ENV, "naive")
+    naive, naive_traffic = _sim_run(graph, placement, peers)
+    monkeypatch.setenv(_KERNEL_ENV, "csr")
+    csr, csr_traffic = _sim_run(graph, placement, peers)
+
+    assert np.array_equal(naive.ranks, csr.ranks), "rank bits diverged"
+    assert naive.passes == csr.passes
+    assert naive_traffic.update_messages == csr_traffic.update_messages
+    assert naive_traffic.bytes_transferred == csr_traffic.bytes_transferred
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_simulator_backends_identical_under_loss(monkeypatch, seed):
+    """Byte-identity must survive the lossy reliable-transport path
+    (drops, retransmits, store-and-resend parking)."""
+    size = 400
+    graph = broder_graph(size, seed=seed)
+    peers = 12
+    placement = DocumentPlacement.random(size, peers, seed=seed + 1)
+
+    monkeypatch.setenv(_KERNEL_ENV, "naive")
+    naive, naive_traffic = _sim_run(
+        graph, placement, peers, loss=0.2, loss_seed=seed + 3
+    )
+    monkeypatch.setenv(_KERNEL_ENV, "csr")
+    csr, csr_traffic = _sim_run(
+        graph, placement, peers, loss=0.2, loss_seed=seed + 3
+    )
+
+    assert np.array_equal(naive.ranks, csr.ranks)
+    assert naive.passes == csr.passes
+    assert naive_traffic.update_messages == csr_traffic.update_messages
+    assert naive_traffic.bytes_transferred == csr_traffic.bytes_transferred
+    assert naive_traffic.resent_messages == csr_traffic.resent_messages
+
+
+def test_kernel_env_selects_workspace(monkeypatch):
+    """The ``REPRO_KERNEL`` switch picks the workspace class."""
+    graph = broder_graph(50, seed=0)
+    monkeypatch.setenv(_KERNEL_ENV, "naive")
+    assert isinstance(make_workspace(graph), EdgeWorkspace)
+    monkeypatch.setenv(_KERNEL_ENV, "csr")
+    assert isinstance(make_workspace(graph), CSRWorkspace)
+    monkeypatch.delenv(_KERNEL_ENV)
+    assert isinstance(make_workspace(graph), CSRWorkspace)
+    monkeypatch.setenv(_KERNEL_ENV, "bogus")
+    with pytest.raises(ValueError):
+        make_workspace(graph)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_csr_pull_matches_edge_pull_bitwise(seed):
+    """One pull pass: reverse-CSR bincount accumulation equals the
+    forward-edge bincount accumulation bit for bit."""
+    graph = broder_graph(300, seed=seed)
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0.1, 2.0, size=graph.num_nodes)
+    edge = EdgeWorkspace.from_graph(graph)
+    csr = CSRWorkspace.from_graph(graph)
+    out_edge = np.empty_like(values)
+    out_csr = np.empty_like(values)
+    edge.pull(values, 0.85, out=out_edge)
+    csr.pull(values, 0.85, out=out_csr)
+    assert np.array_equal(out_edge, out_csr)
+    # Selective rows reproduce the same bits as the dense pass.
+    rows = np.unique(rng.integers(0, graph.num_nodes, size=40))
+    assert np.array_equal(csr.pull_rows(values, 0.85, rows), out_csr[rows])

@@ -1,0 +1,65 @@
+"""Golden-file regression: the committed paper tables must regenerate
+byte-identically.
+
+``benchmarks/results/table_1_convergence.txt`` and
+``table_3_traffic.txt`` are produced by the benchmark harness at its
+default scale (sizes ``(10_000, 30_000)``, 500 peers, seed 0 — see
+``benchmarks/conftest.py``).  Since every engine in this reproduction
+is deterministic, regenerating them with the same parameters must
+reproduce the committed bytes exactly; any drift means an algorithmic
+change leaked into the protocol, not just a refactor.
+
+When a change is *intentional*, regenerate via
+``python -m pytest benchmarks/test_table1_convergence.py
+benchmarks/test_table3_traffic.py`` and commit the updated files.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import PAPER_THRESHOLDS, table1, table3
+
+RESULTS = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+GOLDEN_SIZES = (10_000, 30_000)
+GOLDEN_PEERS = 500
+GOLDEN_SEED = 0
+
+
+def _assert_matches_golden(rendered: str, filename: str) -> None:
+    golden_path = RESULTS / filename
+    assert golden_path.exists(), f"missing golden file {golden_path}"
+    golden = golden_path.read_text()
+    regenerated = rendered + "\n"
+    if regenerated != golden:
+        import difflib
+
+        diff = "\n".join(
+            difflib.unified_diff(
+                golden.splitlines(),
+                regenerated.splitlines(),
+                fromfile=f"committed {filename}",
+                tofile="regenerated",
+                lineterm="",
+            )
+        )
+        pytest.fail(
+            f"{filename} drifted from its committed golden:\n{diff}"
+        )
+
+
+def test_table1_convergence_golden():
+    rendered = table1(
+        GOLDEN_SIZES, num_peers=GOLDEN_PEERS, seed=GOLDEN_SEED, epsilon=1e-3
+    ).render()
+    _assert_matches_golden(rendered, "table_1_convergence.txt")
+
+
+def test_table3_traffic_golden():
+    rendered = table3(
+        GOLDEN_SIZES,
+        thresholds=PAPER_THRESHOLDS,
+        num_peers=GOLDEN_PEERS,
+        seed=GOLDEN_SEED,
+    ).render()
+    _assert_matches_golden(rendered, "table_3_traffic.txt")
