@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck bench bench-smoke bench-full examples obs-demo clean
+.PHONY: install test lint typecheck docs-check bench bench-smoke bench-full examples obs-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -22,6 +22,11 @@ typecheck:
 	@if $(PYTHON) -c "import mypy" 2>/dev/null; \
 	then $(PYTHON) -m mypy src/repro; \
 	else echo "mypy not installed; skipped (CI runs it)"; fi
+
+# Offline docs gate (the CI `docs` job): markdown links must resolve,
+# and every CLI subcommand/flag must have a docs/API.md row.
+docs-check:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/docs -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,28 @@
+"""Tiny-N override shared by the runnable examples.
+
+Every example is written at a size that produces meaningful output
+(§4-scale graphs, the paper's corpus shape).  The docs CI smoke test
+(``tests/docs/test_examples_smoke.py``) runs each script end to end at
+a fraction of that size so the examples cannot rot silently — set
+``REPRO_EXAMPLE_SCALE=50`` to divide every headline size by 50, with a
+per-call floor keeping the scenario well-formed (enough documents for
+the peer count, enough vocabulary for the stopword list).
+
+Examples import this as a sibling module (``from _scale import
+scaled``), which works because Python puts a script's own directory on
+``sys.path``.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def scale_factor() -> float:
+    """The ``REPRO_EXAMPLE_SCALE`` divisor (default 1 = full size)."""
+    return max(1.0, float(os.environ.get("REPRO_EXAMPLE_SCALE", "1")))
+
+
+def scaled(default: int, *, floor: int = 1) -> int:
+    """``default`` divided by the scale factor, never below ``floor``."""
+    return max(floor, int(default / scale_factor()))

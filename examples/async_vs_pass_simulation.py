@@ -24,6 +24,7 @@ Run:  python examples/async_vs_pass_simulation.py
 
 import numpy as np
 
+from _scale import scaled
 from repro.analysis import format_table
 from repro.core import ChaoticPagerank, pagerank_reference
 from repro.graphs import broder_graph
@@ -36,7 +37,7 @@ from repro.simulation import (
 
 
 def main() -> None:
-    num_docs, num_peers, eps = 400, 10, 1e-4
+    num_docs, num_peers, eps = scaled(400, floor=100), 10, 1e-4
     graph = broder_graph(num_docs, seed=0)
     placement = DocumentPlacement.random(num_docs, num_peers, seed=1)
     reference = pagerank_reference(graph).ranks

@@ -20,6 +20,7 @@ Run:  python examples/chaotic_linear_solver.py
 import numpy as np
 from scipy.sparse import csr_matrix
 
+from _scale import scaled
 from repro.analysis import format_table
 from repro.core import (
     ChaoticLinearSolver,
@@ -55,7 +56,7 @@ def grid_heat_system(side: int, coupling: float = 0.9) -> LinearSystem:
 
 def main() -> None:
     # ---- 1. sensor-grid heat equilibrium -----------------------------
-    side = 40
+    side = scaled(40, floor=8)
     system = grid_heat_system(side)
     print(f"Sensor grid {side}x{side}: contraction bound "
           f"{system.contraction_bound():.2f}")

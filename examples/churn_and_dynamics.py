@@ -23,12 +23,13 @@ from repro.core import (
     insert_document,
     pagerank_reference,
 )
+from _scale import scaled
 from repro.graphs import broder_graph
 from repro.p2p import DocumentPlacement, FixedFractionChurn, MarkovChurn
 
 
 def main() -> None:
-    num_docs, num_peers, eps = 5_000, 100, 1e-3
+    num_docs, num_peers, eps = scaled(5_000, floor=400), 100, 1e-3
     graph = broder_graph(num_docs, seed=0)
     placement = DocumentPlacement.random(num_docs, num_peers, seed=1)
     engine = ChaoticPagerank(

@@ -13,6 +13,7 @@ document Internet over T3-class links — plus the §5 crawler comparison.
 Run:  python examples/internet_scale_estimate.py
 """
 
+from _scale import scaled
 from repro.analysis import format_table
 from repro.core import ChaoticPagerank
 from repro.crawler import amortized_comparison, crawl_costs
@@ -35,11 +36,13 @@ def main() -> None:
     per_doc = 0.0
     last_report = None
     last_graph = None
-    for size in (5_000, 20_000, 80_000):
+    for size in (scaled(5_000, floor=500), scaled(20_000, floor=2_000),
+                 scaled(80_000, floor=8_000)):
+        peers = min(500, size // 10)
         graph = broder_graph(size, seed=0)
-        placement = DocumentPlacement.random(size, 500, seed=1)
+        placement = DocumentPlacement.random(size, peers, seed=1)
         report = ChaoticPagerank(
-            graph, placement.assignment, num_peers=500, epsilon=eps
+            graph, placement.assignment, num_peers=peers, epsilon=eps
         ).run(keep_history=False)
         per_doc = report.messages_per_document
         hours_32 = total_time_serialized(

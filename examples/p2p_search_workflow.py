@@ -18,6 +18,7 @@ Run:  python examples/p2p_search_workflow.py
 
 import numpy as np
 
+from _scale import scaled
 from repro.analysis import format_table
 from repro.core import ChaoticPagerank
 from repro.p2p import DocumentPlacement
@@ -37,7 +38,7 @@ DOC_ID_BYTES = 16  # 128-bit GUIDs, the paper's message accounting
 def main() -> None:
     # A scaled-down corpus (the paper's is 11,000 docs / 1880 terms).
     cfg = CorpusConfig(
-        num_documents=3_000,
+        num_documents=scaled(3_000, floor=300),
         vocab_size=800,
         num_stopwords=60,
         raw_vocab_size=8_000,

@@ -14,6 +14,7 @@ import sys
 
 import numpy as np
 
+from _scale import scaled
 from repro.analysis import error_distribution
 from repro.core import ChaoticPagerank, pagerank_reference
 from repro.graphs import broder_graph
@@ -21,8 +22,8 @@ from repro.p2p import DocumentPlacement
 
 
 def main() -> None:
-    num_docs = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
-    num_peers = 500
+    num_docs = int(sys.argv[1]) if len(sys.argv) > 1 else scaled(20_000, floor=1_000)
+    num_peers = min(500, num_docs // 2)
     epsilon = 1e-4  # the paper's recommended operating point (§4.8)
 
     print(f"Synthesising a {num_docs:,}-document power-law link graph ...")

@@ -16,6 +16,7 @@ Run:  python examples/topic_sensitive_ranking.py
 
 import numpy as np
 
+from _scale import scaled
 from repro.analysis import format_table
 from repro.core import personalized_chaotic, ChaoticPagerank, topic_vector
 from repro.p2p import DocumentPlacement
@@ -26,7 +27,7 @@ NUM_PEERS = 25
 
 def main() -> None:
     cfg = CorpusConfig(
-        num_documents=2_000,
+        num_documents=scaled(2_000, floor=250),
         vocab_size=500,
         num_stopwords=40,
         raw_vocab_size=5_000,

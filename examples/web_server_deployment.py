@@ -20,6 +20,7 @@ Run:  python examples/web_server_deployment.py
 
 import numpy as np
 
+from _scale import scaled
 from repro.analysis import format_table
 from repro.core import ChaoticPagerank
 from repro.graphs import hosted_web_graph
@@ -30,8 +31,8 @@ from repro.p2p import (
 )
 from repro.simulation import RATE_T3, TransferModel, internet_scale_estimate
 
-NUM_DOCS = 20_000
-NUM_SERVERS = 200
+NUM_DOCS = scaled(20_000, floor=2_000)
+NUM_SERVERS = min(200, NUM_DOCS // 100)
 EPSILON = 1e-4
 
 

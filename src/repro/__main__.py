@@ -1,4 +1,8 @@
-"""``python -m repro`` — see :mod:`repro.cli`."""
+"""``python -m repro`` — dispatches to :mod:`repro.cli`.
+
+The command surface (ten subcommands and their flags) is tabulated in
+``docs/API.md``; a lockstep test keeps that table truthful.
+"""
 
 import sys
 

@@ -2,7 +2,8 @@
 
 ``pytest benchmarks/ --benchmark-only`` is the full harness (it also
 *asserts* the shape claims); this module is the lighter entry point for
-users who just want the tables:
+users who just want the tables — the paper's full §4–§5 evaluation
+(Table 1 through Table 6) rendered in one run:
 
 >>> from repro.analysis.report import generate_report    # doctest: +SKIP
 >>> text = generate_report()                             # doctest: +SKIP

@@ -1,8 +1,9 @@
 """Plain-text table rendering for the experiment drivers.
 
-The benchmark harness prints the same rows the paper's tables report;
-this module is the one formatter they all share, so every table in the
-output reads consistently and EXPERIMENTS.md can paste them verbatim.
+The benchmark harness prints the same rows the paper's §4–§5 tables
+(Table 1 through Table 6) report; this module is the one formatter
+they all share, so every table in the output reads consistently and
+EXPERIMENTS.md can paste them verbatim.
 """
 
 from __future__ import annotations

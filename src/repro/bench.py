@@ -1,18 +1,24 @@
 """Performance benchmark harness (``repro bench``).
 
-Runs a pinned scenario matrix over the two fast paths this
-reproduction ships — the vectorized pass engine
-(:class:`repro.core.ChaoticPagerank`) and the sharded protocol
-simulator (:class:`repro.simulation.P2PPagerankSimulation`) — and
-records wall-time, pass counts, and bytes-on-wire into a JSON file
+Runs a pinned scenario matrix over the engines this reproduction
+ships — the vectorized pass engine (:class:`repro.core.ChaoticPagerank`),
+the sharded protocol simulator
+(:class:`repro.simulation.P2PPagerankSimulation`), and the concurrent
+asyncio runtime (:class:`repro.runtime.AsyncPeerRuntime`, deterministic
+scheduler mode over the in-memory transport) — and records wall-time,
+pass counts, and bytes-on-wire into a JSON file
 (``BENCH_pagerank.json`` at the repo root by convention).
 
 The matrix is pinned: N ∈ {1k, 10k, 100k} documents, message loss
 ∈ {0, 0.2} (protocol simulator only — the vectorized engine models a
-lossless network), churn on/off (75 % availability when on).  On top
-of the matrix, a dedicated 10k convergence scenario measures the
-sharded (``csr``) simulator against the per-edge Python (``naive``)
-path — the speedup this PR's sharding buys — and records both numbers.
+lossless network), churn on/off (75 % availability when on), plus one
+1k-document async-runtime row (``async_runtime_1k``; for runtime rows
+the ``passes`` column records scheduler rounds).  On top of the
+matrix, a dedicated 10k convergence scenario measures the sharded
+(``csr``) simulator against the per-edge Python (``naive``) path — the
+speedup sharding buys — and the payload's ``async_vs_pass`` entry
+pairs the async runtime's wall-time with the pass simulator's on the
+matching 1k scenario.
 
 Pass counts, message counts, and bytes are **deterministic** (same
 seeds → same values); :func:`compare_results` checks them for exact
@@ -72,8 +78,10 @@ CHURN_AVAILABILITY = 0.75
 class BenchScenario:
     """One pinned cell of the benchmark matrix.
 
-    ``engine`` is ``"vectorized"`` (the pass engine) or ``"simulator"``
-    (the protocol-level simulator); ``kernel`` is the
+    ``engine`` is ``"vectorized"`` (the pass engine), ``"simulator"``
+    (the protocol-level simulator), or ``"runtime"`` (the concurrent
+    asyncio runtime in deterministic scheduler mode — its ``passes``
+    measurement records scheduler rounds); ``kernel`` is the
     :func:`repro.core.kernel_backend` the run is pinned to.
     """
 
@@ -90,7 +98,7 @@ class BenchScenario:
     repeats: int = 1
 
     def __post_init__(self) -> None:
-        if self.engine not in ("vectorized", "simulator"):
+        if self.engine not in ("vectorized", "simulator", "runtime"):
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.kernel not in ("csr", "naive"):
             raise ValueError(f"unknown kernel {self.kernel!r}")
@@ -172,6 +180,20 @@ def default_matrix(*, smoke: bool = False) -> List[BenchScenario]:
                         churn=churn,
                     )
                 )
+    # One async-runtime row: the concurrent runtime is a per-document
+    # Python path, so it is priced at 1k only (enough to track the
+    # async-vs-pass ratio without dominating the matrix's wall-time).
+    scenarios.append(
+        BenchScenario(
+            name="async_runtime_1k",
+            engine="runtime",
+            docs=1_000,
+            peers=PEERS_AT[1_000],
+            epsilon=1e-4,
+            loss=0.0,
+            churn=False,
+        )
+    )
     return scenarios
 
 
@@ -232,7 +254,11 @@ def run_scenario(scenario: BenchScenario) -> BenchResult:
 
     previous = os.environ.get(_KERNEL_ENV)
     os.environ[_KERNEL_ENV] = scenario.kernel
-    runner = _run_vectorized if scenario.engine == "vectorized" else _run_simulator
+    runner = {
+        "vectorized": _run_vectorized,
+        "simulator": _run_simulator,
+        "runtime": _run_runtime,
+    }[scenario.engine]
     try:
         result = runner(scenario)
         for _ in range(scenario.repeats - 1):
@@ -337,6 +363,55 @@ def _run_simulator(scenario: BenchScenario) -> BenchResult:
     )
 
 
+def _run_runtime(scenario: BenchScenario) -> BenchResult:
+    import asyncio
+
+    from repro.faults.plan import FaultPlan, FaultSpec
+    from repro.graphs import broder_graph
+    from repro.p2p import DocumentPlacement, P2PNetwork
+    from repro.p2p.messages import ACK_SIZE_BYTES, MESSAGE_SIZE_BYTES
+    from repro.runtime import AsyncPeerRuntime
+    from repro.simulation.events import OnOffSchedule
+
+    graph = broder_graph(scenario.docs, seed=scenario.seed)
+    placement = DocumentPlacement.random(
+        scenario.docs, scenario.peers, seed=scenario.seed + 1
+    )
+    network = P2PNetwork(scenario.peers, placement, build_ring=False)
+    faults = (
+        FaultPlan(FaultSpec(drop_rate=scenario.loss), seed=scenario.seed + 3)
+        if scenario.loss
+        else None
+    )
+    availability = (
+        OnOffSchedule(scenario.peers, mean_up=30.0, mean_down=10.0,
+                      seed=scenario.seed + 2)
+        if scenario.churn
+        else None
+    )
+    runtime = AsyncPeerRuntime(
+        graph,
+        network,
+        epsilon=scenario.epsilon,
+        faults=faults,
+        availability=availability,
+        seed=scenario.seed + 4,
+    )
+    start = time.perf_counter()
+    report = asyncio.run(runtime.run())
+    wall = time.perf_counter() - start
+    return BenchResult(
+        scenario=scenario,
+        wall_s=wall,
+        passes=report.rounds,
+        messages=report.messages,
+        bytes_on_wire=(
+            report.messages * MESSAGE_SIZE_BYTES + report.acks * ACK_SIZE_BYTES
+        ),
+        converged=report.converged,
+    )
+
+
 def run_bench(
     *,
     smoke: bool = False,
@@ -378,6 +453,18 @@ def run_bench(
             "naive_wall_s": naive.wall_s,
             "csr_wall_s": csr.wall_s,
             "ratio": naive.wall_s / csr.wall_s if csr.wall_s else float("inf"),
+        }
+    async_row = by_name.get("async_runtime_1k")
+    pass_row = by_name.get("sim_1k_loss0_stable")
+    if async_row is not None and pass_row is not None:
+        payload["async_vs_pass"] = {
+            "async_wall_s": async_row.wall_s,
+            "pass_wall_s": pass_row.wall_s,
+            "ratio": (
+                async_row.wall_s / pass_row.wall_s
+                if pass_row.wall_s
+                else float("inf")
+            ),
         }
     return payload
 
@@ -455,6 +542,14 @@ def render_results(payload: Dict[str, object]) -> str:
             f"\n10k simulator speedup (per-edge naive vs sharded csr): "
             f"{speedup['ratio']:.2f}x "
             f"({speedup['naive_wall_s']:.3f}s -> {speedup['csr_wall_s']:.3f}s)"
+        )
+    async_vs_pass = payload.get("async_vs_pass")
+    if async_vs_pass:
+        lines.append(
+            f"\n1k async runtime vs pass simulator wall-time: "
+            f"{async_vs_pass['ratio']:.2f}x "
+            f"(async {async_vs_pass['async_wall_s']:.3f}s, "
+            f"pass {async_vs_pass['pass_wall_s']:.3f}s)"
         )
     return "\n".join(lines)
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the library's main entry points without writing
+Ten commands cover the library's main entry points without writing
 any Python:
 
 ``pagerank``
@@ -19,6 +19,12 @@ any Python:
     (plus duplication, delay, and two mid-run peer crashes) at several
     loss rates, scored against the centralized reference — see
     docs/PROTOCOL.md §13 for the reliability layer it exercises.
+``runtime``
+    Run the concurrent asyncio peer runtime (per-peer tasks, mailboxes,
+    reliable batches over a pluggable transport) on a synthetic graph —
+    deterministic virtual-clock mode by default, ``--realtime`` for
+    free-running mode, ``--tcp`` for loopback sockets — see
+    docs/PROTOCOL.md §14 and docs/ARCHITECTURE.md.
 ``obs report``
     Run a small fully instrumented simulation (both engines, with
     churn and routed delivery) and dump the metrics snapshot as a
@@ -107,6 +113,29 @@ def build_parser() -> argparse.ArgumentParser:
     f.add_argument("--delay-rate", type=float, default=0.05)
     f.add_argument("--max-passes", type=int, default=2_000)
     f.add_argument("--seed", type=int, default=0)
+
+    rt = sub.add_parser(
+        "runtime",
+        help="run the concurrent asyncio peer runtime (docs/PROTOCOL.md §14)",
+    )
+    rt.add_argument("--docs", type=int, default=1_000, help="number of documents")
+    rt.add_argument("--peers", type=int, default=32, help="number of peers")
+    rt.add_argument("--epsilon", type=float, default=1e-4,
+                    help="convergence threshold")
+    rt.add_argument("--damping", type=float, default=0.85)
+    rt.add_argument("--loss", type=float, default=0.0,
+                    help="message drop rate injected by the fault plan")
+    rt.add_argument("--churn", action="store_true",
+                    help="run peers through on/off availability spells (§3.1)")
+    rt.add_argument("--realtime", action="store_true",
+                    help="free-running real-clock mode instead of the "
+                    "deterministic virtual-clock scheduler")
+    rt.add_argument("--tcp", action="store_true",
+                    help="exchange envelopes over loopback TCP sockets "
+                    "(implies --realtime)")
+    rt.add_argument("--timeout", type=float, default=60.0,
+                    help="realtime-mode wall-clock budget in seconds")
+    rt.add_argument("--seed", type=int, default=0)
 
     o = sub.add_parser("obs", help="observability tooling (metrics + traces)")
     osub = o.add_subparsers(dest="obs_command", required=True)
@@ -300,6 +329,84 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_runtime(args) -> int:
+    import asyncio
+
+    from repro.analysis import error_distribution, format_table
+    from repro.core import pagerank_reference
+    from repro.faults.plan import FaultPlan, FaultSpec
+    from repro.graphs import broder_graph
+    from repro.p2p import DocumentPlacement, P2PNetwork
+    from repro.runtime import AsyncPeerRuntime, TcpTransport
+    from repro.simulation.events import FixedLatency, OnOffSchedule
+
+    graph = broder_graph(args.docs, seed=args.seed)
+    placement = DocumentPlacement.random(args.docs, args.peers, seed=args.seed + 1)
+    network = P2PNetwork(args.peers, placement, build_ring=False)
+    realtime = args.realtime or args.tcp
+    kwargs = {}
+    if args.tcp:
+        if args.loss or args.churn:
+            print("error: --tcp carries no fault plan; drop --loss/--churn")
+            return 2
+        kwargs["transport"] = TcpTransport()
+    else:
+        if args.loss:
+            kwargs["faults"] = FaultPlan(
+                FaultSpec(drop_rate=args.loss), seed=args.seed + 3
+            )
+        if args.churn:
+            kwargs["availability"] = OnOffSchedule(
+                args.peers, mean_up=30.0, mean_down=10.0, seed=args.seed + 2
+            )
+        if realtime:
+            # Millisecond-scale virtual units so a real-clock run is not
+            # paced at one second per hop.
+            kwargs["latency"] = FixedLatency(0.005)
+            kwargs["pass_time"] = 0.01
+        kwargs["seed"] = args.seed + 4
+    runtime = AsyncPeerRuntime(
+        graph,
+        network,
+        damping=args.damping,
+        epsilon=args.epsilon,
+        **kwargs,
+    )
+    if realtime:
+        report = asyncio.run(runtime.run_realtime(timeout=args.timeout))
+    else:
+        report = asyncio.run(runtime.run())
+    reference = pagerank_reference(graph, damping=args.damping)
+    dist = error_distribution(report.ranks, reference.ranks)
+    mode = "tcp" if args.tcp else ("realtime" if realtime else "deterministic")
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("documents", args.docs),
+                ("peers", args.peers),
+                ("mode", mode),
+                ("epsilon", args.epsilon),
+                ("converged", str(report.converged)),
+                ("quiesced", str(report.quiesced)),
+                ("clock at quiescence", f"{report.clock_time:.3f}"),
+                ("scheduler rounds", report.rounds),
+                ("update messages", report.messages),
+                ("batches", report.batches),
+                ("acks", report.acks),
+                ("retries", report.retries),
+                ("abandoned updates", report.abandoned_updates),
+                ("deferred deliveries", report.deferred_deliveries),
+                ("max staleness", f"{report.max_staleness:.2e}"),
+                ("p99 error vs R_c", dist.percentile_errors[99.0]),
+                ("max error vs R_c", dist.max_error),
+            ],
+            title="Concurrent peer runtime run",
+        )
+    )
+    return 0 if report.converged else 1
+
+
 def _cmd_obs(args) -> int:
     from contextlib import ExitStack
 
@@ -406,6 +513,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "search": _cmd_search,
         "faults": _cmd_faults,
+        "runtime": _cmd_runtime,
         "obs": _cmd_obs,
         "bench": _cmd_bench,
         "lint": _cmd_lint,

@@ -1,7 +1,8 @@
 """Deterministic fault injection and reliable delivery.
 
 The paper argues the chaotic pagerank protocol tolerates the messy
-realities of a P2P deployment; this package makes that claim testable.
+realities of a P2P deployment (§3.1 store-and-resend, the §4.3
+availability sweeps); this package makes that claim testable.
 A seeded :class:`FaultPlan` is the single oracle for everything that can
 go wrong on the wire — message drops, duplication, delay/reordering,
 peer crashes with volatile-state loss, and transient link partitions —

@@ -3,7 +3,8 @@
 Two formats:
 
 * a compact ``.npz`` holding the raw CSR arrays (fast, lossless,
-  preferred for benchmark fixtures that are expensive to regenerate);
+  preferred for benchmark fixtures — the §4.1 power-law graphs are
+  expensive to regenerate at paper sizes);
 * a plain-text edge list (one ``src dst`` pair per line, ``#`` comments
   allowed) for interoperability with external tools.
 """

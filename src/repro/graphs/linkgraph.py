@@ -2,8 +2,9 @@
 
 :class:`LinkGraph` is the central data structure of the library: a
 directed graph of documents where an edge ``u -> v`` means document
-``u`` contains a hyperlink (GUID reference, in DHT terms) to document
-``v``.  It is stored in compressed-sparse-row (CSR) form — two flat
+``u`` contains a hyperlink (a GUID reference in DHT terms, §2.2) to
+document ``v`` — the substrate both the §2 pagerank computation and
+the §4.1 evaluation graphs are built on.  It is stored in compressed-sparse-row (CSR) form — two flat
 integer arrays — so that the per-pass pagerank kernels are pure
 vectorized NumPy with no per-edge Python, per the hpc-parallel
 optimization guides (contiguous access, views not copies).

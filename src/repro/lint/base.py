@@ -13,7 +13,8 @@ Two checker scopes exist:
 Checkers self-register via the :func:`register` decorator at import
 time (:mod:`repro.lint.checkers` imports every checker module), so the
 engine, the CLI's ``--list-rules``, and the docs-lockstep test all see
-one authoritative rule set.
+one authoritative rule set.  The how-to-add-a-checker walkthrough
+lives in ``docs/STATIC_ANALYSIS.md``.
 """
 
 from __future__ import annotations

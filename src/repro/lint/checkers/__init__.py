@@ -9,6 +9,7 @@ lockstep test enforces that), and a fixture test.
 
 from repro.lint.checkers.api import ApiAllChecker, ApiDocChecker
 from repro.lint.checkers.determinism import DeterminismChecker
+from repro.lint.checkers.docs import ModuleDocChecker
 from repro.lint.checkers.floats import FloatSafetyChecker
 from repro.lint.checkers.metrics import MetricsDocChecker
 from repro.lint.checkers.protocol import ProtocolChecker
@@ -19,5 +20,6 @@ __all__ = [
     "DeterminismChecker",
     "FloatSafetyChecker",
     "MetricsDocChecker",
+    "ModuleDocChecker",
     "ProtocolChecker",
 ]

@@ -1,5 +1,7 @@
 """Determinism rules (DET*): the byte-identical-runs invariant.
 
+Rule catalogue and layer scoping: ``docs/STATIC_ANALYSIS.md``.
+
 The reproduction's headline guarantee — same seed, same bytes out —
 holds only if no code path consults an unseeded RNG, the wall clock,
 or an ordering that varies between processes.  These rules flag the

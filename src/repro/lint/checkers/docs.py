@@ -1,0 +1,100 @@
+"""Documentation rules (DOC*): module docstrings that orient a reader.
+
+The style contract (CONTRIBUTING.md, and the docs map in
+``docs/ARCHITECTURE.md``) is that every public module says what it
+implements *and where that comes from* — a paper locator (``§2.4``,
+``Table 3``, ``Figure 1``, ``Eq. 4``) for the reproduction layers, or
+a ``docs/<NAME>.md`` pointer for the infrastructure layers.  Prose
+drifts when that link is missing: a reader landing in the file cannot
+tell which claim it exists to uphold.
+
+* DOC001 — a public ``repro`` module has no module docstring at all.
+* DOC002 — the docstring cites neither a paper section nor a
+  ``docs/`` page, so it floats free of the documentation system.
+
+Private modules (any ``_``-prefixed path component, e.g.
+``repro._util``) are exempt; dunder modules (``__init__``,
+``__main__``) are public and checked.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List
+
+from repro.lint.base import Checker, FileContext, register
+from repro.lint.findings import Finding, Rule
+
+__all__ = ["ModuleDocChecker"]
+
+DOC001 = Rule(
+    id="DOC001",
+    name="missing-module-docstring",
+    summary="public repro module has no module docstring",
+    hint="open with a one-paragraph summary plus a paper-section or "
+    "docs/ cross-reference (see CONTRIBUTING.md, Style)",
+)
+DOC002 = Rule(
+    id="DOC002",
+    name="uncited-module-docstring",
+    summary="module docstring cites neither a paper section nor a "
+    "docs/ page",
+    hint="add the paper locator the module implements (e.g. §3.1, "
+    "Table 3, Eq. 4) or the docs/<NAME>.md page that specifies it",
+)
+
+#: What counts as a cross-reference: a paper locator or a docs/ page.
+_CITATION = re.compile(
+    r"§"  # § section sign
+    r"|\b(?:Section|Table|Figure|Fig\.|Eq\.|Equation)\s*\d"
+    r"|\bHPDC\b"
+    r"|\bdocs/[A-Z][A-Z_]*\.md\b"
+)
+
+
+def _is_public_module(module: str) -> bool:
+    """Public = no ``_``-prefixed component; dunders stay public."""
+    for part in module.split("."):
+        if part.startswith("__") and part.endswith("__"):
+            continue
+        if part.startswith("_"):
+            return False
+    return True
+
+
+@register
+class ModuleDocChecker(Checker):
+    """DOC001-DOC002: public modules carry cited docstrings."""
+
+    rules = (DOC001, DOC002)
+    scope = "file"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not (ctx.module == "repro" or ctx.module.startswith("repro.")):
+            return ()
+        if not _is_public_module(ctx.module):
+            return ()
+
+        doc = ast.get_docstring(ctx.tree)
+        findings: List[Finding] = []
+        if doc is None:
+            findings.append(
+                self.finding(
+                    DOC001,
+                    ctx.path,
+                    1,
+                    f"public module {ctx.module} has no module docstring",
+                )
+            )
+        elif not _CITATION.search(doc):
+            findings.append(
+                self.finding(
+                    DOC002,
+                    ctx.path,
+                    1,
+                    f"{ctx.module}'s docstring cites neither a paper "
+                    "section nor a docs/ page",
+                )
+            )
+        return findings

@@ -1,4 +1,4 @@
-"""``repro lint`` — the static-analysis entry point.
+"""``repro lint`` — the static-analysis entry point (docs/STATIC_ANALYSIS.md).
 
 Kept separate from :mod:`repro.cli` so the top-level CLI stays a thin
 dispatcher; that module calls :func:`configure_parser` to mount the

@@ -1,7 +1,8 @@
 """The lint engine: collect files, run checkers, filter suppressions.
 
-Orchestration only — rules live in :mod:`repro.lint.checkers`, data
-shapes in :mod:`repro.lint.findings`.  The engine is itself held to
+Orchestration only — rules live in :mod:`repro.lint.checkers` (the
+catalogue is ``docs/STATIC_ANALYSIS.md``), data shapes in
+:mod:`repro.lint.findings`.  The engine is itself held to
 the determinism bar it enforces: files are visited in sorted order and
 findings are sorted before they are returned, so two runs over the
 same tree emit byte-identical reports.

@@ -5,6 +5,8 @@ plain data end to end: checkers yield them, the engine filters them
 (``# repro: noqa[...]`` suppressions, baseline entries), and the CLI
 renders the survivors as an aligned table or as JSON whose schema is
 stable enough to diff across runs (``schema_version`` guards it).
+Baseline and suppression semantics are specified in
+``docs/STATIC_ANALYSIS.md``.
 """
 
 from __future__ import annotations

@@ -1,5 +1,8 @@
 """Snapshot rendering: metrics as an aligned table or JSON.
 
+The metric families rendered here are catalogued in
+``docs/OBSERVABILITY.md`` (a lint rule keeps that catalogue honest).
+
 Deliberately dependency-free (no :mod:`repro.analysis` import) so the
 observability layer stays below every other subsystem in the import
 graph — engines import ``repro.obs``; nothing in ``repro.obs`` imports

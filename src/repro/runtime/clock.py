@@ -1,0 +1,75 @@
+"""Clocks for the concurrent peer runtime (virtual vs wall time).
+
+The paper's protocol is asynchronous: peers act whenever messages
+arrive, not on a shared pass counter.  To make such a system
+*reproducible* — the bar every other layer of this repo meets — the
+runtime abstracts time behind a clock with two implementations:
+
+* :class:`VirtualClock` — a manually advanced logical clock.  The
+  deterministic scheduler (:class:`repro.runtime.AsyncPeerRuntime`)
+  owns it and advances it to the next scheduled event, so a seeded run
+  is a pure function of its inputs: same seed, same event order, same
+  ranks.  This is the asynchronous analogue of the pass engines' pass
+  index (docs/PROTOCOL.md §14).
+* :class:`RealClock` — the asyncio event-loop clock, for free-running
+  mode (the local TCP transport), where delivery timing comes from the
+  actual network stack and runs are *not* reproducible byte-for-byte.
+
+``repro.runtime`` is deliberately outside the DET002 deterministic
+layers (docs/STATIC_ANALYSIS.md): the real-clock mode must read wall
+time.  Determinism is instead guaranteed per-mode — the virtual-clock
+path never consults anything but this object.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+__all__ = ["VirtualClock", "RealClock"]
+
+
+class VirtualClock:
+    """Manually advanced logical time (deterministic scheduler mode).
+
+    Only the runtime's coordinator advances it; everything else just
+    reads :meth:`now`.  Time is a float in abstract *time units*; the
+    in-memory transport's latency model and the reliability layer's
+    retry timers are expressed in the same units.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    def advance_to(self, when: float) -> None:
+        """Jump forward to ``when`` (never backward)."""
+        if when < self._now:
+            raise ValueError(
+                f"virtual time cannot go backward: {when} < {self._now}"
+            )
+        self._now = float(when)
+
+
+class RealClock:
+    """Event-loop wall clock (free-running / TCP mode).
+
+    Reads ``asyncio``'s monotonic loop time, normalised so ``now()``
+    starts near 0 at construction — comparable to a virtual-clock run's
+    timeline, but *not* reproducible across runs.
+    """
+
+    def __init__(self) -> None:
+        self._origin: Optional[float] = None
+
+    def _loop_time(self) -> float:
+        return asyncio.get_event_loop().time()
+
+    def now(self) -> float:
+        """Seconds since this clock was first read."""
+        if self._origin is None:
+            self._origin = self._loop_time()
+        return self._loop_time() - self._origin

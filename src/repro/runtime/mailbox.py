@@ -1,0 +1,109 @@
+"""Per-peer mailboxes for the concurrent runtime (Fig. 1's inbox).
+
+The paper's peer pseudocode is a message loop — ``while pagerank
+update message received`` — and the runtime gives every peer exactly
+that: a :class:`Mailbox` its task drains, fed by the transport.  The
+mailbox is a plain FIFO: envelopes are processed in arrival order,
+which in deterministic mode is the transport's seeded
+``(deliver_time, sequence)`` order (docs/PROTOCOL.md §14).
+
+Quiescence — the distributed computation's natural termination — is
+detected through the shared :class:`WorkTracker`: every enqueued
+envelope increments it, every fully processed envelope decrements it,
+and the runtime's convergence check requires it to sit at zero with no
+unacknowledged flights outstanding.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Deque, List, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.runtime.transport import Envelope
+
+__all__ = ["Mailbox", "WorkTracker"]
+
+
+class WorkTracker:
+    """Count of envelopes enqueued but not yet fully processed.
+
+    Shared across all mailboxes of one runtime; ``wait_idle`` is the
+    awaitable the free-running mode's convergence probe uses.
+    """
+
+    def __init__(self) -> None:
+        self._outstanding = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    def inc(self, n: int = 1) -> None:
+        self._outstanding += n
+        if self._outstanding:
+            self._idle.clear()
+
+    def dec(self, n: int = 1) -> None:
+        self._outstanding -= n
+        if self._outstanding < 0:
+            raise RuntimeError("work tracker went negative")
+        if self._outstanding == 0:
+            self._idle.set()
+
+    async def wait_idle(self) -> None:
+        """Block until no envelope is enqueued anywhere."""
+        await self._idle.wait()
+
+
+class Mailbox:
+    """FIFO envelope queue behind one peer task.
+
+    ``put`` is synchronous (the transport calls it from the event
+    loop); the owning :class:`~repro.runtime.node.PeerNode` drains with
+    :meth:`drain`, processing envelopes strictly in arrival order.  An
+    optional ``on_put`` callback wakes the owner (free-running mode).
+    """
+
+    def __init__(self, owner_peer: int, tracker: Optional[WorkTracker] = None) -> None:
+        self.owner_peer = int(owner_peer)
+        self.tracker = tracker
+        self._queue: Deque["Envelope"] = deque()
+        self._on_put = None
+
+    def set_on_put(self, callback) -> None:
+        """Install the wake-up callback (called on every ``put``)."""
+        self._on_put = callback
+
+    def put(self, envelope: "Envelope") -> None:
+        """Enqueue one envelope (arrival order is processing order)."""
+        self._queue.append(envelope)
+        if self.tracker is not None:
+            self.tracker.inc()
+        if self._on_put is not None:
+            self._on_put()
+
+    def drain(self) -> List["Envelope"]:
+        """Remove and return everything queued, in arrival order.
+
+        The caller must call :meth:`done` once per drained envelope
+        after processing it, so the work tracker stays balanced.
+        """
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    def done(self, n: int = 1) -> None:
+        """Mark ``n`` drained envelopes as fully processed."""
+        if self.tracker is not None:
+            self.tracker.dec(n)
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def empty(self) -> bool:
+        return not self._queue

@@ -1,0 +1,151 @@
+"""Sender-side reliable delivery for the concurrent runtime.
+
+The pass-based engines get reliability from
+:class:`repro.faults.transport.ReliableTransport`; the runtime needs
+the same semantics — positive acks, capped exponential backoff, a
+retry budget, abandonment bookkeeping (docs/PROTOCOL.md §13, §14) —
+but driven by a clock instead of a pass counter.  This module is that
+translation: a :class:`FlightTracker` lives on each
+:class:`~repro.runtime.node.PeerNode` and tracks every batch the node
+has launched until the matching :class:`~repro.p2p.messages.BatchAck`
+arrives.
+
+The knobs are the *same* :class:`~repro.faults.ReliabilityConfig` the
+pass engines use; its pass-denominated timeouts are scaled onto the
+runtime clock by ``pass_time`` (time units per pass-equivalent), so a
+config tuned for the simulator behaves identically here.  A flight
+still unacked after ``max_retries`` retransmissions is abandoned and
+its updates counted as undeliverable mass — the runtime's quiescence
+check then reports non-convergence instead of retrying forever,
+mirroring the pass engines' graceful degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.faults.transport import ReliabilityConfig
+from repro.p2p.messages import BatchAck, MessageBatch
+
+__all__ = ["AsyncFlight", "FlightTracker"]
+
+
+@dataclass
+class AsyncFlight:
+    """One batch transfer awaiting acknowledgement (clock-timed).
+
+    Attributes
+    ----------
+    flight_id:
+        Transport-level transfer id (unique per sending node).
+    batch:
+        The payload under delivery.
+    first_sent:
+        Clock reading of the first transmission.
+    attempts:
+        Transmissions so far (1 = original send).
+    next_retry:
+        Clock reading at which an unacked flight times out and is
+        retransmitted (or abandoned once over budget).
+    """
+
+    flight_id: int
+    batch: MessageBatch
+    first_sent: float
+    attempts: int = 1
+    next_retry: float = 0.0
+
+
+class FlightTracker:
+    """Per-sender flight table: launch, ack, retry, abandon.
+
+    Parameters
+    ----------
+    config:
+        The shared ack/retry/backoff parameters
+        (:class:`~repro.faults.ReliabilityConfig`).
+    pass_time:
+        Time units equivalent to one pass — the scale factor applied
+        to the config's pass-denominated timeouts.
+    """
+
+    def __init__(self, config: ReliabilityConfig, *, pass_time: float = 1.0) -> None:
+        if pass_time <= 0:
+            raise ValueError(f"pass_time must be > 0, got {pass_time}")
+        self.config = config
+        self.pass_time = float(pass_time)
+        self._flights: Dict[int, AsyncFlight] = {}
+        self._next_fid = 0
+        self.retries = 0
+        self.abandoned_updates = 0
+        self.abandoned_mass = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def unacked_flights(self) -> int:
+        return len(self._flights)
+
+    @property
+    def unacked_updates(self) -> int:
+        """Updates in flights still awaiting acknowledgement."""
+        return sum(len(f.batch) for f in self._flights.values())
+
+    @property
+    def undeliverable_updates(self) -> int:
+        """Abandoned plus still-unacked updates (convergence blockers)."""
+        return self.abandoned_updates + self.unacked_updates
+
+    def _timeout(self, attempts: int) -> float:
+        """Clock delay before the next retransmission of a flight that
+        has been attempted ``attempts`` times (capped backoff)."""
+        return self.config.retry_delay(attempts) * self.pass_time
+
+    # ------------------------------------------------------------------
+    def launch(self, batch: MessageBatch, now: float) -> AsyncFlight:
+        """Register a freshly staged batch as a new flight."""
+        flight = AsyncFlight(
+            flight_id=self._next_fid,
+            batch=batch,
+            first_sent=now,
+            attempts=1,
+            next_retry=now + self._timeout(1),
+        )
+        self._next_fid += 1
+        self._flights[flight.flight_id] = flight
+        return flight
+
+    def on_ack(self, ack: BatchAck) -> bool:
+        """Clear the acknowledged flight; False if it was unknown
+        (a duplicate ack for an already-cleared flight)."""
+        return self._flights.pop(ack.flight_id, None) is not None
+
+    def due(self, now: float) -> List[AsyncFlight]:
+        """Flights whose ack timeout has expired at ``now``.
+
+        Flights still within their retry budget are returned for
+        retransmission with ``attempts`` incremented and their next
+        timeout re-armed; flights over budget are abandoned (removed,
+        their updates counted as undeliverable) and *not* returned.
+        """
+        out: List[AsyncFlight] = []
+        for fid in sorted(self._flights):
+            flight = self._flights[fid]
+            if flight.next_retry > now:
+                continue
+            if flight.attempts > self.config.max_retries:
+                self.abandoned_updates += len(flight.batch)
+                self.abandoned_mass += sum(abs(u.value) for u in flight.batch)
+                del self._flights[fid]
+                continue
+            flight.attempts += 1
+            flight.next_retry = now + self._timeout(flight.attempts)
+            self.retries += 1
+            out.append(flight)
+        return out
+
+    def next_due(self) -> Optional[float]:
+        """Earliest retry/abandon deadline among unacked flights."""
+        if not self._flights:
+            return None
+        return min(f.next_retry for f in self._flights.values())

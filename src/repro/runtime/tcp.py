@@ -1,0 +1,196 @@
+"""Local TCP transport: the runtime's envelopes over real sockets.
+
+:class:`TcpTransport` runs the concurrent runtime's message exchange
+over loopback TCP, proving the wire protocol round-trips outside
+process memory.  Topology is a central *switch*: one asyncio server on
+localhost, one client connection per peer.  A peer introduces itself
+with a single ``hello`` line carrying its id; after that every line is
+one :class:`~repro.runtime.transport.Envelope` encoded as JSON
+(:func:`~repro.runtime.transport.encode_envelope`), routed by the
+switch to the receiver's connection and pumped into the receiver's
+mailbox (docs/PROTOCOL.md §14).
+
+Scope: free-running mode only (real clock, OS-scheduled delivery
+order, no fault injection) — deterministic differential runs use
+:class:`~repro.runtime.transport.InMemoryTransport`.  Reliability is
+unchanged: flights, acks and retries live above the transport in
+:class:`~repro.runtime.reliability.FlightTracker`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional
+
+from repro.p2p.messages import BatchAck, MessageBatch
+from repro.runtime.transport import (
+    KIND_ACK,
+    KIND_BATCH,
+    Envelope,
+    Transport,
+    decode_envelope,
+    encode_envelope,
+)
+
+__all__ = ["TcpTransport"]
+
+
+class TcpTransport(Transport):
+    """Central-switch loopback TCP transport (free-running mode only).
+
+    Parameters
+    ----------
+    host:
+        Interface to bind; loopback by default.
+    port:
+        Listening port; 0 picks an ephemeral port (read it back from
+        :attr:`port` after :meth:`start`).
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._mailboxes: Dict[int, object] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        # Switch-side writer per peer id, registered at hello.
+        self._switch_writers: Dict[int, asyncio.StreamWriter] = {}
+        # Client-side connection per peer id.
+        self._client_writers: Dict[int, asyncio.StreamWriter] = {}
+        self._pumps: List[asyncio.Task] = []
+        self._switch_tasks: List[asyncio.Task] = []
+        # Lines accepted by the switch but not yet landed in a mailbox;
+        # part of the runtime's idle check.
+        self._in_flight = 0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def connect(self, peer_id: int, mailbox) -> None:
+        if self._started:
+            raise RuntimeError("connect all peers before start()")
+        self._mailboxes[int(peer_id)] = mailbox
+
+    @property
+    def pending(self) -> int:
+        """Envelopes accepted by the switch but not yet in a mailbox."""
+        return self._in_flight
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the switch, then dial one connection per peer."""
+        if self._started:
+            raise RuntimeError("transport already started")
+        self._server = await asyncio.start_server(
+            self._handle_switch_conn, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        for peer_id in sorted(self._mailboxes):
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            writer.write(
+                (json.dumps({"hello": peer_id}, separators=(",", ":")) + "\n").encode()
+            )
+            await writer.drain()
+            self._client_writers[peer_id] = writer
+            self._pumps.append(
+                asyncio.create_task(self._client_pump(peer_id, reader))
+            )
+        # The switch learns each peer's writer from its hello line;
+        # wait until every registration has landed before sending.
+        while len(self._switch_writers) < len(self._mailboxes):
+            await asyncio.sleep(0)
+        self._started = True
+
+    async def stop(self) -> None:
+        """Close every connection and the switch server."""
+        if self._server is None:
+            return
+        for writer in self._client_writers.values():
+            writer.close()
+        self._server.close()
+        await self._server.wait_closed()
+        for task in self._pumps + self._switch_tasks:
+            task.cancel()
+        await asyncio.gather(
+            *self._pumps, *self._switch_tasks, return_exceptions=True
+        )
+        self._server = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Switch side
+    # ------------------------------------------------------------------
+    async def _handle_switch_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._switch_tasks.append(task)
+        hello = await reader.readline()
+        if not hello:
+            return
+        peer_id = int(json.loads(hello)["hello"])
+        self._switch_writers[peer_id] = writer
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                receiver = int(json.loads(line)["receiver"])
+                out = self._switch_writers.get(receiver)
+                if out is None or out.is_closing():
+                    self._in_flight -= 1
+                    continue
+                out.write(line)
+                await out.drain()
+        except (asyncio.CancelledError, ConnectionError):
+            return
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    async def _client_pump(self, peer_id: int, reader: asyncio.StreamReader) -> None:
+        """Read routed lines into this peer's mailbox."""
+        mailbox = self._mailboxes[peer_id]
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                mailbox.put(decode_envelope(line))
+                self._in_flight -= 1
+        except (asyncio.CancelledError, ConnectionError):
+            return
+
+    def _submit(self, envelope: Envelope) -> None:
+        if not self._started:
+            raise RuntimeError("transport not started; call start() first")
+        writer = self._client_writers[envelope.sender]
+        self._in_flight += 1
+        writer.write(encode_envelope(envelope))
+
+    def send_batch(
+        self, batch: MessageBatch, *, flight_id: int, attempt: int, now: float
+    ) -> None:
+        self._submit(
+            Envelope(
+                kind=KIND_BATCH,
+                sender=batch.sender_peer,
+                receiver=batch.receiver_peer,
+                payload=batch,
+                flight_id=flight_id,
+                attempt=attempt,
+                send_time=now,
+            )
+        )
+
+    def send_ack(self, ack: BatchAck, *, now: float) -> None:
+        self._submit(
+            Envelope(
+                kind=KIND_ACK,
+                sender=ack.sender_peer,
+                receiver=ack.receiver_peer,
+                payload=ack,
+                flight_id=ack.flight_id,
+                send_time=now,
+            )
+        )

@@ -1,0 +1,57 @@
+"""Smoke-run every ``examples/`` script at a tiny scale.
+
+The examples are the repo's executable documentation — the README
+table points at them by name — so they must keep running as the API
+underneath them moves.  Each script honours ``REPRO_EXAMPLE_SCALE``
+(see ``examples/_scale.py``), which divides its headline sizes; at
+scale 50 the whole sweep finishes in well under a minute while still
+executing every code path end to end.
+
+Part of the docs CI job alongside the markdown link checker.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+SCRIPTS = [p for p in EXAMPLES if not p.name.startswith("_")]
+
+
+def test_every_readme_example_is_covered() -> None:
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    names = {p.name for p in SCRIPTS}
+    referenced = {
+        line.split("examples/")[1].split("`")[0]
+        for line in readme.splitlines()
+        if "`examples/" in line
+    }
+    assert referenced <= names, f"README references missing scripts: {referenced - names}"
+    assert len(SCRIPTS) >= 9
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+def test_example_runs_at_tiny_scale(script: Path) -> None:
+    env = dict(os.environ)
+    env["REPRO_EXAMPLE_SCALE"] = "50"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script.name} printed nothing"

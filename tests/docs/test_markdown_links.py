@@ -1,0 +1,99 @@
+"""Offline markdown link checker for the repo's documentation tree.
+
+Every relative link in the top-level and ``docs/`` markdown files must
+point at a file that exists in the repository, and every anchor
+fragment (``#section``, in-page or cross-page) must match a real
+heading under GitHub's slugification rules.  External URLs are *not*
+fetched — the suite stays fully offline — but their scheme is the only
+thing that exempts them.
+
+This is the executable half of the docs CI job (`.github/workflows/
+ci.yml`, ``docs`` job): prose can drift, but links cannot.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# The documentation surface under link-check: all tracked top-level
+# markdown plus the docs/ tree.  Generated/reference material
+# (benchmarks/results, .lint-baseline.json, …) is out of scope.
+DOC_FILES = sorted(
+    [p for p in REPO_ROOT.glob("*.md")] + [p for p in (REPO_ROOT / "docs").glob("*.md")]
+)
+
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:, …
+
+
+def _strip_fences(text: str) -> str:
+    """Blank out fenced code blocks (links inside them are examples)."""
+    out = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line (ignoring dedup suffixes)."""
+    text = heading.strip().lower()
+    text = text.replace("`", "")  # inline code markers vanish
+    text = re.sub(r"[^\w\- ]", "", text)  # drop punctuation (keeps _ and -)
+    return text.replace(" ", "-")
+
+
+def _anchors_of(path: Path) -> set[str]:
+    anchors = set()
+    for line in _strip_fences(path.read_text(encoding="utf-8")).splitlines():
+        m = _HEADING.match(line)
+        if m:
+            anchors.add(_github_slug(m.group(2)))
+    return anchors
+
+
+def _links_of(path: Path) -> list[str]:
+    return _LINK.findall(_strip_fences(path.read_text(encoding="utf-8")))
+
+
+def test_doc_surface_is_nonempty() -> None:
+    names = {p.name for p in DOC_FILES}
+    assert "README.md" in names
+    assert "ARCHITECTURE.md" in names
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: str(p.relative_to(REPO_ROOT)))
+def test_relative_links_resolve(doc: Path) -> None:
+    problems = []
+    for target in _links_of(doc):
+        if _EXTERNAL.match(target):
+            continue  # external URL: scheme checked, never fetched
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{target!r}: no such file {path_part!r}")
+                continue
+        else:
+            resolved = doc  # pure in-page anchor
+        if anchor:
+            if resolved.suffix != ".md":
+                problems.append(f"{target!r}: anchor into non-markdown file")
+                continue
+            if anchor not in _anchors_of(resolved):
+                problems.append(
+                    f"{target!r}: no heading slugs to {anchor!r} "
+                    f"in {resolved.name}"
+                )
+    assert not problems, f"{doc.name}: " + "; ".join(problems)

@@ -1,4 +1,4 @@
-"""``__all__`` drift fixture: a phantom export and an unexported def."""
+"""``__all__`` drift fixture (docs/API.md): a phantom export and an unexported def."""
 
 __all__ = ["missing_function"]  # API001: never bound below
 

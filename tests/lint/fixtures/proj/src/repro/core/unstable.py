@@ -1,4 +1,5 @@
-"""Deliberately broken fixture: one seeded violation per file-scope rule.
+"""Deliberately broken fixture (docs/STATIC_ANALYSIS.md): one seeded
+violation per file-scope rule.
 
 This file is linted by the tests, never imported or executed.
 """

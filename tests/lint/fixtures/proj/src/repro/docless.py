@@ -1,0 +1,5 @@
+__all__ = ["shrug"]
+
+
+def shrug() -> None:
+    return None

@@ -1,4 +1,4 @@
-"""Registers a metric the fixture catalogue does not know (MET001)."""
+"""Registers a metric the fixture catalogue (docs/OBSERVABILITY.md) does not know (MET001)."""
 
 __all__ = ["emit"]
 

@@ -1,5 +1,5 @@
-"""Drifted message definitions: undocumented field, wrong size constant,
-and a message type the cost model cannot price."""
+"""Drifted message definitions (docs/PROTOCOL.md): undocumented field,
+wrong size constant, and a message type the cost model cannot price."""
 
 from dataclasses import dataclass
 

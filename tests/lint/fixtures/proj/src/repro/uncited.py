@@ -1,0 +1,7 @@
+"""A perfectly pleasant docstring that cites nothing at all (DOC002)."""
+
+__all__ = ["wave"]
+
+
+def wave() -> None:
+    return None

@@ -1,4 +1,4 @@
-"""Package exporting a symbol the fixture API.md does not list (API003)."""
+"""Package exporting a symbol the fixture docs/API.md does not list (API003)."""
 
 __all__ = ["undocumented_widget"]
 

@@ -7,6 +7,7 @@ from pathlib import Path
 from repro.lint import FileContext
 from repro.lint.checkers.api import ApiAllChecker
 from repro.lint.checkers.determinism import DeterminismChecker
+from repro.lint.checkers.docs import ModuleDocChecker
 from repro.lint.checkers.floats import FloatSafetyChecker
 
 
@@ -158,3 +159,41 @@ class TestApiAll:
     def test_underscore_defs_need_no_export(self):
         src = '__all__ = ["real"]\n\n\ndef real():\n    return 1\n\n\ndef _helper():\n    return 2\n'
         assert check(ApiAllChecker(), src, module="repro.fake") == []
+
+
+class TestModuleDocs:
+    def test_doc001_missing_docstring(self):
+        src = '__all__ = ["f"]\n\n\ndef f():\n    return 1\n'
+        found = check(ModuleDocChecker(), src, module="repro.fake")
+        assert rule_ids(found) == ["DOC001"]
+        assert "no module docstring" in found[0].message
+
+    def test_doc002_uncited_docstring(self):
+        src = '"""Nice words, zero references."""\n__all__ = ["f"]\n\n\ndef f():\n    return 1\n'
+        found = check(ModuleDocChecker(), src, module="repro.fake")
+        assert rule_ids(found) == ["DOC002"]
+
+    def test_paper_section_citation_clean(self):
+        src = '"""Implements the store-and-resend path (§3.1)."""\n'
+        assert check(ModuleDocChecker(), src, module="repro.fake") == []
+
+    def test_table_citation_clean(self):
+        src = '"""Reproduces Table 3 message traffic."""\n'
+        assert check(ModuleDocChecker(), src, module="repro.fake") == []
+
+    def test_docs_page_citation_clean(self):
+        src = '"""Specified by docs/STATIC_ANALYSIS.md."""\n'
+        assert check(ModuleDocChecker(), src, module="repro.fake") == []
+
+    def test_private_module_exempt(self):
+        src = "def f():\n    return 1\n"
+        assert check(ModuleDocChecker(), src, module="repro._util.fake") == []
+
+    def test_dunder_module_is_public(self):
+        src = "def f():\n    return 1\n"
+        found = check(ModuleDocChecker(), src, module="repro.__main__")
+        assert rule_ids(found) == ["DOC001"]
+
+    def test_non_repro_module_exempt(self):
+        src = "def f():\n    return 1\n"
+        assert check(ModuleDocChecker(), src, module="scripts.helper") == []

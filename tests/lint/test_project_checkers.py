@@ -3,7 +3,7 @@
 ``fixtures/proj`` is a miniature repo — ``src/repro/...`` plus a
 ``docs/`` tree — seeded with exactly one violation per rule, so this
 is also the end-to-end proof that ``repro lint`` fails on a tree that
-violates any of the five checker families.
+violates any of the checker families.
 """
 
 from pathlib import Path
@@ -15,6 +15,7 @@ PROJ = FIXTURES / "proj"
 
 EXPECTED_RULES = {
     "DET001", "DET002", "DET003", "DET004",
+    "DOC001", "DOC002",
     "FLT001", "FLT002",
     "PRO001", "PRO002", "PRO003",
     "MET001", "MET002",

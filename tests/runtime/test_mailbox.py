@@ -1,0 +1,71 @@
+"""Unit tests for the runtime mailbox and quiescence tracker."""
+
+import asyncio
+
+import pytest
+
+from repro.p2p.messages import BatchAck
+from repro.runtime.mailbox import Mailbox, WorkTracker
+from repro.runtime.transport import KIND_ACK, Envelope
+
+
+def ack_envelope(fid: int) -> Envelope:
+    return Envelope(
+        kind=KIND_ACK, sender=1, receiver=0,
+        payload=BatchAck(flight_id=fid, sender_peer=1, receiver_peer=0),
+        flight_id=fid,
+    )
+
+
+class TestMailbox:
+    def test_fifo_order(self):
+        box = Mailbox(0)
+        for fid in range(5):
+            box.put(ack_envelope(fid))
+        assert [e.flight_id for e in box.drain()] == [0, 1, 2, 3, 4]
+        assert box.empty
+
+    def test_len_and_empty(self):
+        box = Mailbox(0)
+        assert box.empty and len(box) == 0
+        box.put(ack_envelope(0))
+        assert not box.empty and len(box) == 1
+
+    def test_on_put_callback_fires(self):
+        box = Mailbox(0)
+        calls = []
+        box.set_on_put(lambda: calls.append(1))
+        box.put(ack_envelope(0))
+        box.put(ack_envelope(1))
+        assert len(calls) == 2
+
+    def test_tracker_balances_through_drain_and_done(self):
+        tracker = WorkTracker()
+        box = Mailbox(0, tracker)
+        box.put(ack_envelope(0))
+        box.put(ack_envelope(1))
+        assert tracker.outstanding == 2
+        drained = box.drain()
+        # Drain does not decrement: processing has not happened yet.
+        assert tracker.outstanding == 2
+        box.done(len(drained))
+        assert tracker.outstanding == 0
+
+
+class TestWorkTracker:
+    def test_negative_raises(self):
+        tracker = WorkTracker()
+        with pytest.raises(RuntimeError):
+            tracker.dec()
+
+    def test_wait_idle(self):
+        async def body():
+            tracker = WorkTracker()
+            tracker.inc(3)
+            waiter = asyncio.ensure_future(tracker.wait_idle())
+            await asyncio.sleep(0)
+            assert not waiter.done()
+            tracker.dec(3)
+            await asyncio.wait_for(waiter, timeout=1.0)
+
+        asyncio.run(body())

@@ -80,3 +80,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Convergence under injected faults" in out
         assert "20%" in out
+
+
+class TestRuntimeCommand:
+    def test_runtime_defaults(self):
+        args = build_parser().parse_args(["runtime"])
+        assert args.docs == 1_000
+        assert args.peers == 32
+        assert not args.realtime
+        assert not args.tcp
+
+    def test_runtime_deterministic_run(self, capsys):
+        code = main([
+            "runtime", "--docs", "200", "--peers", "6", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deterministic" in out
+        assert "converged" in out and "True" in out
+
+    def test_runtime_with_loss(self, capsys):
+        code = main([
+            "runtime", "--docs", "150", "--peers", "5",
+            "--loss", "0.2", "--seed", "3",
+        ])
+        assert code == 0
+        assert "retries" in capsys.readouterr().out
+
+    def test_runtime_tcp(self, capsys):
+        code = main([
+            "runtime", "--docs", "120", "--peers", "4", "--tcp", "--seed", "3",
+        ])
+        assert code == 0
+        assert "tcp" in capsys.readouterr().out
+
+    def test_runtime_tcp_rejects_fault_flags(self, capsys):
+        code = main([
+            "runtime", "--docs", "100", "--peers", "4",
+            "--tcp", "--loss", "0.1",
+        ])
+        assert code == 2
+        assert "no fault plan" in capsys.readouterr().out
