@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck docs-check bench bench-smoke bench-full examples obs-demo clean
+.PHONY: install test lint typecheck docs-check bench bench-smoke bench-full soak-smoke examples obs-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -39,6 +39,12 @@ bench-smoke:
 # The paper's graph sizes (up to 5,000,000 nodes) — budget hours.
 bench-full:
 	REPRO_FULL_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Chaos soak smoke: three seeded crash-storm schedules against the
+# recovery-supervised runtime, zero invariant violations required
+# (docs/PROTOCOL.md §15).  The CI soak-smoke job runs the same line.
+soak-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro soak --docs 120 --peers 6 --seeds 0 1 2 --crashes 2 --drop 0.05
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten commands cover the library's main entry points without writing
+Eleven commands cover the library's main entry points without writing
 any Python:
 
 ``pagerank``
@@ -25,6 +25,12 @@ any Python:
     deterministic virtual-clock mode by default, ``--realtime`` for
     free-running mode, ``--tcp`` for loopback sockets — see
     docs/PROTOCOL.md §14 and docs/ARCHITECTURE.md.
+``soak``
+    Run the chaos soak harness: randomized seeded crash/partition
+    schedules against the recovery-supervised runtime with continuous
+    invariant checks (mass conservation, no abandoned documents,
+    convergence to the reference ranking); ``--report`` streams a
+    JSONL incident report — see docs/PROTOCOL.md §15.
 ``obs report``
     Run a small fully instrumented simulation (both engines, with
     churn and routed delivery) and dump the metrics snapshot as a
@@ -136,6 +142,30 @@ def build_parser() -> argparse.ArgumentParser:
     rt.add_argument("--timeout", type=float, default=60.0,
                     help="realtime-mode wall-clock budget in seconds")
     rt.add_argument("--seed", type=int, default=0)
+
+    soak = sub.add_parser(
+        "soak",
+        help="run the chaos soak harness: seeded crash storms with "
+        "invariant checks (docs/PROTOCOL.md §15)",
+    )
+    soak.add_argument("--docs", type=int, default=120, help="number of documents")
+    soak.add_argument("--peers", type=int, default=6, help="number of peers")
+    soak.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                      help="soak schedule seeds, one run each")
+    soak.add_argument("--epsilon", type=float, default=1e-4,
+                      help="convergence threshold")
+    soak.add_argument("--drop", type=float, default=0.05,
+                      help="background message drop rate")
+    soak.add_argument("--crashes", type=int, default=2,
+                      help="crash events drawn per schedule")
+    soak.add_argument("--partitions", type=int, default=0,
+                      help="transient link partitions drawn per schedule")
+    soak.add_argument("--down-passes", type=int, default=5,
+                      help="upper bound on a crash's down spell, in passes")
+    soak.add_argument("--max-rounds", type=int, default=20_000,
+                      help="scheduler round budget per run")
+    soak.add_argument("--report", type=str, default=None,
+                      help="write the JSONL incident report to this file")
 
     o = sub.add_parser("obs", help="observability tooling (metrics + traces)")
     osub = o.add_subparsers(dest="obs_command", required=True)
@@ -407,6 +437,67 @@ def _cmd_runtime(args) -> int:
     return 0 if report.converged else 1
 
 
+def _cmd_soak(args) -> int:
+    from contextlib import ExitStack
+
+    from repro import obs
+    from repro.analysis import format_table
+    from repro.recovery import SoakConfig, run_soak
+
+    config = SoakConfig(
+        docs=args.docs,
+        peers=args.peers,
+        epsilon=args.epsilon,
+        drop_rate=args.drop,
+        crashes=args.crashes,
+        partitions=args.partitions,
+        down_passes_max=args.down_passes,
+        max_rounds=args.max_rounds,
+    )
+    rows = []
+    failures = 0
+    with ExitStack() as stack:
+        sink = None
+        if args.report:
+            sink = stack.enter_context(obs.TraceSink(args.report))
+        for seed in args.seeds:
+            report = run_soak(config, seed=seed, trace=sink)
+            failures += 0 if report.ok else 1
+            rows.append(
+                (
+                    seed,
+                    "ok" if report.ok else "FAIL",
+                    report.rounds,
+                    report.crashes,
+                    report.restarts,
+                    report.p99_error,
+                    report.mass_error,
+                    len(report.violations),
+                )
+            )
+            for violation in report.violations:
+                print(
+                    f"seed {seed}: {violation.kind} @ round "
+                    f"{violation.round}: {violation.detail}",
+                    file=sys.stderr,
+                )
+    print(
+        format_table(
+            ["seed", "status", "rounds", "crashes", "restarts",
+             "p99 err", "mass err", "violations"],
+            rows,
+            title=(
+                f"repro soak — {config.docs} docs / {config.peers} peers, "
+                f"drop={config.drop_rate}, {config.crashes} crashes, "
+                f"{config.partitions} partitions"
+            ),
+        )
+    )
+    if args.report:
+        print(f"incident report written to {args.report}")
+    return 1 if failures else 0
+
+
 def _cmd_obs(args) -> int:
     from contextlib import ExitStack
 
@@ -514,6 +605,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "search": _cmd_search,
         "faults": _cmd_faults,
         "runtime": _cmd_runtime,
+        "soak": _cmd_soak,
         "obs": _cmd_obs,
         "bench": _cmd_bench,
         "lint": _cmd_lint,

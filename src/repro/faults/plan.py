@@ -108,11 +108,17 @@ class FaultSpec:
         ``None`` (default) mirrors ``drop_rate`` — data and ack travel
         the same lossy links.
     crashes:
-        ``(pass_index, peer_id)`` pairs: at the start of that pass the
-        peer crashes, losing volatile state (outbox, deferred queue,
-        retransmit buffer) and staying down for ``crash_down_passes``.
+        ``(pass_index, peer_id)`` pairs or ``(pass_index, peer_id,
+        down_passes)`` triples: at the start of that pass the peer
+        crashes, losing volatile state (outbox, deferred queue,
+        retransmit buffer).  A pair stays down for the spec-wide
+        ``crash_down_passes``; a triple carries its own down spell
+        (restart-after semantics, docs/PROTOCOL.md §15.4).  Entries
+        normalise to triples, so ``spec.crashes`` always yields
+        ``(pass, peer, down)``.
     crash_down_passes:
-        Passes a crashed peer stays unavailable before rebooting.
+        Default passes a crashed peer stays unavailable before
+        rebooting (used by 2-tuple ``crashes`` entries).
     partitions:
         :class:`Partition` spells, checked on every send attempt.
     """
@@ -122,7 +128,7 @@ class FaultSpec:
     delay_rate: float = 0.0
     max_delay_passes: int = 3
     ack_drop_rate: Optional[float] = None
-    crashes: Tuple[Tuple[int, int], ...] = ()
+    crashes: Tuple[Tuple[int, ...], ...] = ()
     crash_down_passes: int = 2
     partitions: Tuple[Partition, ...] = ()
 
@@ -140,14 +146,27 @@ class FaultSpec:
             raise ValueError(
                 f"crash_down_passes must be >= 1, got {self.crash_down_passes}"
             )
-        for t, p in self.crashes:
+        normalised = []
+        for entry in self.crashes:
+            if len(entry) == 2:
+                t, p = entry
+                down = self.crash_down_passes
+            elif len(entry) == 3:
+                t, p, down = entry
+            else:
+                raise ValueError(
+                    f"crash entries must be (pass, peer[, down]), got {entry!r}"
+                )
             if t < 0 or p < 0:
                 raise ValueError(f"crash entries must be non-negative, got ({t}, {p})")
+            if down < 1:
+                raise ValueError(
+                    f"crash down_passes must be >= 1, got {down} for peer {p}"
+                )
+            normalised.append((int(t), int(p), int(down)))
         # Normalise to tuples so specs hash/compare and cannot be
         # mutated after plans were built from them.
-        object.__setattr__(
-            self, "crashes", tuple((int(t), int(p)) for t, p in self.crashes)
-        )
+        object.__setattr__(self, "crashes", tuple(normalised))
         object.__setattr__(self, "partitions", tuple(self.partitions))
 
     @property
@@ -199,16 +218,30 @@ class FaultPlan:
     def __init__(self, spec: Optional[FaultSpec] = None, *, seed: SeedLike = None) -> None:
         self.spec = spec if spec is not None else FaultSpec()
         self._rng = as_generator(seed)
-        self._crashes_by_pass: Dict[int, List[int]] = {}
-        for t, p in self.spec.crashes:
-            self._crashes_by_pass.setdefault(t, []).append(p)
+        self._crashes_by_pass: Dict[int, List[Tuple[int, int]]] = {}
+        for t, p, down in self.spec.crashes:
+            self._crashes_by_pass.setdefault(t, []).append((p, down))
 
     # ------------------------------------------------------------------
     # Scheduled faults
     # ------------------------------------------------------------------
     def crashes_at(self, pass_index: int) -> Tuple[int, ...]:
         """Peers that crash at the start of ``pass_index``."""
-        return tuple(self._crashes_by_pass.get(pass_index, ()))
+        return tuple(p for p, _ in self._crashes_by_pass.get(pass_index, ()))
+
+    def down_passes_for(self, pass_index: int, peer: int) -> int:
+        """The down spell of a crash scheduled at ``(pass_index, peer)``
+        (falls back to the spec-wide default for unknown queries)."""
+        for p, down in self._crashes_by_pass.get(pass_index, ()):
+            if p == peer:
+                return down
+        return self.spec.crash_down_passes
+
+    def crash_events(self) -> Tuple[Tuple[int, int, int], ...]:
+        """The full crash schedule as sorted ``(pass, peer, down)``
+        triples — the supervisor's restart-after timeline
+        (docs/PROTOCOL.md §15.4)."""
+        return tuple(sorted(self.spec.crashes))
 
     def link_blocked(self, pass_index: int, sender: int, receiver: int) -> bool:
         """True if a partition spell blocks this transfer right now."""

@@ -117,6 +117,8 @@ class FaultStats:
     redeliveries_suppressed: int = 0
     partition_blocked_sends: int = 0
     abandoned_updates: int = 0
+    parked_updates: int = 0
+    parked_resent: int = 0
     crashes: int = 0
     crash_state_loss: int = 0
     reboot_republished: int = 0
@@ -130,8 +132,8 @@ class _FaultInstruments:
 
     __slots__ = (
         "dropped", "duplicated", "delayed", "acks", "ack_drops", "retries",
-        "suppressed", "blocked", "abandoned", "crashes", "state_loss",
-        "republished", "aborts",
+        "suppressed", "blocked", "abandoned", "parked", "parked_resent",
+        "crashes", "state_loss", "republished", "aborts",
     )
 
     def __init__(self, reg) -> None:
@@ -171,6 +173,14 @@ class _FaultInstruments:
             "faults.abandoned_updates", unit="messages",
             description="updates whose flight exhausted the retry budget",
         )
+        self.parked = reg.counter(
+            "faults.parked_updates", unit="messages",
+            description="budget-exhausted updates parked into store-and-resend",
+        )
+        self.parked_resent = reg.counter(
+            "faults.parked_resent", unit="messages",
+            description="parked updates relaunched after their blockage cleared",
+        )
         self.crashes = reg.counter(
             "faults.crashes", unit="peers",
             description="injected peer crashes (volatile state wiped)",
@@ -199,6 +209,23 @@ class _Flight:
     attempts: int = 1
     next_retry_pass: int = 0
     delivered_once: bool = False
+
+
+@dataclass
+class _Parked:
+    """One budget-exhausted batch held in store-and-resend (§3.1).
+
+    ``undeliverable`` records whether the batch has been blocked by a
+    partition or a down receiver since parking; relaunch is
+    *transition-gated* — only a batch that was blocked and whose
+    blockage has since cleared goes back on the wire.  A batch that
+    exhausted its budget on an open, up link lost to pure chance stays
+    parked (retrying it forever would just mask a hopeless loss rate).
+    """
+
+    batch: MessageBatch
+    parked_at_pass: int
+    undeliverable: bool = False
 
 
 @dataclass(frozen=True)
@@ -351,6 +378,12 @@ class ReliableTransport:
         self._delay_seq = 0
         self._black_holed: Dict[Tuple[int, int], int] = {}
         self._abandoned_mass = 0.0
+        # Store-and-resend holding area for budget-exhausted batches,
+        # keyed by a monotonically increasing park id (FIFO relaunch).
+        self._parked: Dict[int, _Parked] = {}
+        self._next_park = 0
+        self._healed_updates = 0
+        self._healed_mass = 0.0
         self.pass_delivered = 0
         self.pass_resent = 0
         self.pass_batches = 0
@@ -374,8 +407,19 @@ class ReliableTransport:
 
     @property
     def undeliverable_updates(self) -> int:
-        """Abandoned plus still-unacked updates (convergence blockers)."""
-        return self.stats.abandoned_updates + self.unacked_updates
+        """Abandoned-minus-healed plus still-unacked updates
+        (convergence blockers).  A parked batch counts until its
+        blockage clears and it relaunches."""
+        return (
+            self.stats.abandoned_updates
+            - self._healed_updates
+            + self.unacked_updates
+        )
+
+    @property
+    def parked_batches(self) -> int:
+        """Budget-exhausted batches held in store-and-resend."""
+        return len(self._parked)
 
     def black_holed_links(self) -> Dict[Tuple[int, int], int]:
         """Links whose flights exhausted the retry budget, with the
@@ -405,19 +449,53 @@ class ReliableTransport:
                 for _, _, flight, attempt in sorted(due, key=lambda e: (e[0], e[1])):
                     self._deliver_copy(pass_index, flight, attempt, live)
 
-        if not self._flights:
-            return
         for fid in list(self._flights):
             flight = self._flights.get(fid)
             if flight is None or flight.next_retry_pass > pass_index:
                 continue
             if flight.attempts > self.config.max_retries:
-                self._abandon(flight)
+                self._abandon(flight, pass_index, live)
                 continue
             flight.attempts += 1
             self.stats.retries += 1
             self._obs.retries.inc()
             self._attempt(pass_index, flight, live)
+
+        self._service_parked(pass_index, live)
+
+    def _service_parked(self, pass_index: int, live) -> None:
+        """Store-and-resend for budget-exhausted batches: track each
+        parked batch's blockage, relaunch the ones whose blockage has
+        cleared (transition-gated — see :class:`_Parked`)."""
+        if not self._parked:
+            return
+        for park_id in sorted(self._parked):
+            entry = self._parked[park_id]
+            batch = entry.batch
+            blocked = self.plan.link_blocked(
+                pass_index, batch.sender_peer, batch.receiver_peer
+            ) or not live[batch.receiver_peer]
+            if blocked:
+                entry.undeliverable = True
+                continue
+            if not entry.undeliverable:
+                continue
+            # Was blocked, now clear: back onto the wire as a fresh
+            # flight with a fresh retry budget.
+            del self._parked[park_id]
+            healed = len(batch)
+            mass = sum(abs(u.value) for u in batch)
+            self._healed_updates += healed
+            self._healed_mass += mass
+            self.stats.parked_resent += healed
+            self._obs.parked_resent.inc(healed)
+            key = (batch.sender_peer, batch.receiver_peer)
+            remaining = self._black_holed.get(key, 0) - healed
+            if remaining > 0:
+                self._black_holed[key] = remaining
+            else:
+                self._black_holed.pop(key, None)
+            self.send(pass_index, batch, live)
 
     def send(self, pass_index: int, batch: MessageBatch, live) -> None:
         """Submit a freshly staged batch for reliable delivery."""
@@ -444,6 +522,11 @@ class ReliableTransport:
             if flight.batch.sender_peer == peer:
                 lost += len(flight.batch)
                 del self._flights[fid]
+        # The store-and-resend holding area is volatile too.
+        for park_id in list(self._parked):
+            if self._parked[park_id].batch.sender_peer == peer:
+                lost += len(self._parked[park_id].batch)
+                del self._parked[park_id]
         return lost
 
     def note_crash(self, peer: int, state_loss: int) -> None:
@@ -484,9 +567,11 @@ class ReliableTransport:
             stagnant_passes=stagnant_passes,
             black_holed_links=tuple(sorted(links.items())),
             black_holed_peers=peers,
-            abandoned_updates=self.stats.abandoned_updates,
+            abandoned_updates=self.stats.abandoned_updates - self._healed_updates,
             unacked_updates=self.unacked_updates,
-            undelivered_mass=self._abandoned_mass + unacked_mass,
+            undelivered_mass=(
+                self._abandoned_mass - self._healed_mass + unacked_mass
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -548,8 +633,10 @@ class ReliableTransport:
             else:
                 del self._flights[flight.fid]
 
-    def _abandon(self, flight: _Flight) -> None:
-        """Retry budget exhausted: record the black hole and give up."""
+    def _abandon(self, flight: _Flight, pass_index: int, live) -> None:
+        """Retry budget exhausted: record the black hole and park the
+        batch into store-and-resend instead of dropping it (§3.1) —
+        if its link heals or its receiver returns, it relaunches."""
         batch = flight.batch
         key = (batch.sender_peer, batch.receiver_peer)
         self._black_holed[key] = self._black_holed.get(key, 0) + len(batch)
@@ -557,3 +644,14 @@ class ReliableTransport:
         self._obs.abandoned.inc(len(batch))
         self._abandoned_mass += sum(abs(u.value) for u in batch)
         del self._flights[flight.fid]
+        undeliverable = self.plan.link_blocked(
+            pass_index, batch.sender_peer, batch.receiver_peer
+        ) or not live[batch.receiver_peer]
+        self._parked[self._next_park] = _Parked(
+            batch=batch,
+            parked_at_pass=pass_index,
+            undeliverable=undeliverable,
+        )
+        self._next_park += 1
+        self.stats.parked_updates += len(batch)
+        self._obs.parked.inc(len(batch))

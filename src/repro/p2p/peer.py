@@ -474,6 +474,42 @@ class Peer:
                     staged += 1
         return staged
 
+    def republish_to(self, dest_peer: int, peer_of: np.ndarray) -> int:
+        """Anti-entropy catch-up toward one recovered neighbor: stage
+        the current published value of every local document that links
+        into ``dest_peer``'s holdings, at the current publish version.
+
+        The directional counterpart of :meth:`reboot_republish` — after
+        a supervised restart the *recovered* peer re-announces its own
+        values, while its live neighbors call this so the recovered
+        peer's view of *them* is refreshed too (it may have crashed
+        before their latest updates arrived, and those flights may have
+        been abandoned meanwhile — docs/PROTOCOL.md §15.4).  Replays
+        are equal-version idempotent at the receiver.  Returns the
+        number of updates staged.
+        """
+        staged = 0
+        for doc in self.documents:
+            doc = int(doc)
+            version = self._publish_version.get(doc, 0)
+            if version == 0:
+                continue
+            value = self.published[doc]
+            for target in self.graph.out_links(doc):
+                target = int(target)
+                if int(peer_of[target]) == dest_peer:
+                    self.outbox.stage(
+                        dest_peer,
+                        PagerankUpdate(
+                            target_doc=target,
+                            source_doc=doc,
+                            value=value,
+                            version=version,
+                        ),
+                    )
+                    staged += 1
+        return staged
+
     # ------------------------------------------------------------------
     # Document migration (DHT re-homing support)
     # ------------------------------------------------------------------

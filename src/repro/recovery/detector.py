@@ -1,0 +1,138 @@
+"""Heartbeat failure detection for the async peer runtime.
+
+The paper's peers "may be disconnected at any time" (§3.1) but the
+protocol itself carries no liveness signal — a dead peer just goes
+silent, and the only pre-existing symptom is a stagnating pass.  The
+:class:`HeartbeatFailureDetector` closes that gap: every scheduler
+round each live peer registers a heartbeat, and a peer whose last
+heartbeat is older than ``timeout`` time units is *suspected*.  The
+supervisor (:mod:`repro.recovery.supervisor`) only restarts a peer
+once the detector suspects it, which makes detection latency — not
+just crash schedules — part of the deterministic timeline under
+VirtualClock (docs/PROTOCOL.md §15.3).
+
+An optional phi-accrual-style smoothing (Hayashibara et al.; see
+docs/PROTOCOL.md §15.3) is available via ``phi_threshold``: instead of
+a hard timeout, suspicion triggers when the accrued value
+``phi = elapsed / mean_interval`` exceeds the threshold, with the mean
+taken over a sliding window of observed heartbeat inter-arrival times.
+With no history yet, phi mode falls back to the hard timeout.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+__all__ = ["HeartbeatFailureDetector"]
+
+#: Sliding-window length for phi-accrual inter-arrival history.
+_PHI_WINDOW = 32
+
+
+class HeartbeatFailureDetector:
+    """Tracks per-peer heartbeats and reports suspicion.
+
+    Parameters
+    ----------
+    num_peers:
+        Total peers under observation (ids ``0..num_peers-1``).
+    timeout:
+        Hard suspicion deadline: a peer is suspected once
+        ``now - last_heartbeat >= timeout``.  Expressed in clock time
+        units (the runtime passes ``heartbeat_timeout_passes *
+        pass_time``).
+    phi_threshold:
+        Optional phi-accrual threshold.  When set, suspicion requires
+        ``elapsed / mean_inter_arrival > phi_threshold`` once at least
+        two heartbeats have been seen; the hard ``timeout`` still
+        applies as an upper bound so a peer with no history cannot
+        evade detection.
+    """
+
+    def __init__(
+        self,
+        num_peers: int,
+        *,
+        timeout: float,
+        phi_threshold: Optional[float] = None,
+    ) -> None:
+        if num_peers < 1:
+            raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if phi_threshold is not None and phi_threshold <= 0:
+            raise ValueError(
+                f"phi_threshold must be positive, got {phi_threshold}"
+            )
+        self.num_peers = num_peers
+        self.timeout = float(timeout)
+        self.phi_threshold = phi_threshold
+        self._last: Dict[int, float] = {}
+        self._intervals: Dict[int, Deque[float]] = {
+            p: deque(maxlen=_PHI_WINDOW) for p in range(num_peers)
+        }
+        #: Heartbeats observed, total.
+        self.heartbeats = 0
+
+    # ------------------------------------------------------------------
+    def heartbeat(self, peer: int, now: float) -> None:
+        """Record a liveness signal from ``peer`` at time ``now``."""
+        previous = self._last.get(peer)
+        if previous is not None and now > previous:
+            self._intervals[peer].append(now - previous)
+        self._last[peer] = now
+        self.heartbeats += 1
+
+    def forget(self, peer: int) -> None:
+        """Drop a peer's history (called when a crash is *observed* so
+        a restarted peer starts with a clean inter-arrival window)."""
+        self._last.pop(peer, None)
+        self._intervals[peer].clear()
+
+    # ------------------------------------------------------------------
+    def last_heartbeat(self, peer: int) -> Optional[float]:
+        return self._last.get(peer)
+
+    def phi(self, peer: int, now: float) -> float:
+        """Accrued suspicion level (0 while history is insufficient)."""
+        last = self._last.get(peer)
+        intervals = self._intervals[peer]
+        if last is None or not intervals:
+            return 0.0
+        mean = sum(intervals) / len(intervals)
+        if mean <= 0:
+            return 0.0
+        return (now - last) / mean
+
+    def suspect(self, peer: int, now: float) -> bool:
+        """True when ``peer`` has missed its liveness deadline."""
+        last = self._last.get(peer)
+        if last is None:
+            # Never heard from: suspect only the full timeout after t=0.
+            return now >= self.timeout
+        if now - last >= self.timeout:
+            return True
+        if self.phi_threshold is not None and self._intervals[peer]:
+            return self.phi(peer, now) > self.phi_threshold
+        return False
+
+    def suspected(self, now: float) -> List[int]:
+        """All suspected peer ids, ascending (deterministic order)."""
+        return [p for p in range(self.num_peers) if self.suspect(p, now)]
+
+    # ------------------------------------------------------------------
+    def deadline(self, peer: int) -> float:
+        """The earliest time at which ``peer`` becomes suspected by the
+        hard timeout (phi may trigger earlier; this is the bound the
+        scheduler must not skip past)."""
+        last = self._last.get(peer, 0.0)
+        return last + self.timeout
+
+    def next_deadline(self, peers: Tuple[int, ...]) -> Optional[float]:
+        """Earliest hard-timeout deadline among ``peers`` (the
+        supervisor passes only peers currently down, so live peers'
+        deadlines never stall the scheduler)."""
+        if not peers:
+            return None
+        return min(self.deadline(p) for p in peers)

@@ -1,0 +1,139 @@
+"""Compacted peer snapshots: the WAL's checkpoint counterpart.
+
+An unbounded WAL makes restart cost proportional to the whole run; the
+paper's peers are expected to crash and rejoin "at any time" (§3.1),
+so recovery must be cheap.  A :class:`PeerSnapshot` is a point-in-time
+copy of exactly the durable slice of a :class:`~repro.p2p.peer.Peer` —
+ranks, published values, received remote values, both version maps,
+and the owned-document set — everything :meth:`PeerSnapshot.restore`
+needs to rebuild a peer that is *bitwise identical* to the captured
+one (floats are copied, never re-derived).  Volatile state (outbox,
+deferred store, retransmit buffers) is deliberately excluded: a crash
+destroys it, and recovery heals it by re-publishing
+(docs/PROTOCOL.md §15.2).
+
+The journal layer (:mod:`repro.recovery.journal`) captures a snapshot
+every ``snapshot_interval`` WAL records and truncates the log — the
+classic checkpoint-plus-tail recovery scheme.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.graphs.linkgraph import LinkGraph
+from repro.p2p.peer import Peer
+
+__all__ = ["PeerSnapshot"]
+
+
+@dataclass(frozen=True)
+class PeerSnapshot:
+    """The durable slice of one peer, frozen at a point in time.
+
+    Attributes
+    ----------
+    peer_id:
+        The captured peer.
+    init_rank, honor_versions:
+        Constructor parameters needed to rebuild an equivalent peer.
+    documents:
+        Owned document ids (sorted).
+    rank, published:
+        Per-document current and last-announced values.
+    remote_values:
+        Last received value per remote in-linking document.
+    remote_versions:
+        Version of each held remote value.
+    publish_versions:
+        Per-local-document publish sequence numbers.
+    """
+
+    peer_id: int
+    init_rank: float
+    honor_versions: bool
+    documents: Tuple[int, ...]
+    rank: Dict[int, float]
+    published: Dict[int, float]
+    remote_values: Dict[int, float]
+    remote_versions: Dict[int, int]
+    publish_versions: Dict[int, int]
+
+    @classmethod
+    def capture(cls, peer: Peer) -> "PeerSnapshot":
+        """Copy the peer's durable state (no float is recomputed)."""
+        return cls(
+            peer_id=peer.peer_id,
+            init_rank=peer.init_rank,
+            honor_versions=peer.honor_versions,
+            documents=tuple(int(d) for d in peer.documents),
+            rank=dict(peer.rank),
+            published=dict(peer.published),
+            remote_values=dict(peer.remote_values),
+            remote_versions=dict(peer._remote_versions),
+            publish_versions=dict(peer._publish_version),
+        )
+
+    def restore(self, graph: LinkGraph) -> Peer:
+        """Rebuild a peer bitwise-equal (durably) to the captured one."""
+        peer = Peer(
+            self.peer_id,
+            self.documents,
+            graph,
+            init_rank=self.init_rank,
+            honor_versions=self.honor_versions,
+        )
+        peer.rank = dict(self.rank)
+        peer.published = dict(self.published)
+        peer.remote_values = dict(self.remote_values)
+        peer._remote_versions = dict(self.remote_versions)
+        peer._publish_version = dict(self.publish_versions)
+        return peer
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise as one JSON line (repr-exact floats)."""
+        return json.dumps(
+            {
+                "peer_id": self.peer_id,
+                "init_rank": self.init_rank,
+                "honor_versions": self.honor_versions,
+                "documents": list(self.documents),
+                "rank": {str(k): v for k, v in sorted(self.rank.items())},
+                "published": {str(k): v for k, v in sorted(self.published.items())},
+                "remote_values": {
+                    str(k): v for k, v in sorted(self.remote_values.items())
+                },
+                "remote_versions": {
+                    str(k): v for k, v in sorted(self.remote_versions.items())
+                },
+                "publish_versions": {
+                    str(k): v for k, v in sorted(self.publish_versions.items())
+                },
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "PeerSnapshot":
+        """Parse a line written by :meth:`to_json`."""
+        body = json.loads(line)
+        return cls(
+            peer_id=int(body["peer_id"]),
+            init_rank=float(body["init_rank"]),
+            honor_versions=bool(body["honor_versions"]),
+            documents=tuple(int(d) for d in body["documents"]),
+            rank={int(k): float(v) for k, v in body["rank"].items()},
+            published={int(k): float(v) for k, v in body["published"].items()},
+            remote_values={
+                int(k): float(v) for k, v in body["remote_values"].items()
+            },
+            remote_versions={
+                int(k): int(v) for k, v in body["remote_versions"].items()
+            },
+            publish_versions={
+                int(k): int(v) for k, v in body["publish_versions"].items()
+            },
+        )

@@ -66,25 +66,51 @@ class Mailbox:
     loop); the owning :class:`~repro.runtime.node.PeerNode` drains with
     :meth:`drain`, processing envelopes strictly in arrival order.  An
     optional ``on_put`` callback wakes the owner (free-running mode).
+
+    ``capacity`` bounds the queue: a ``put`` against a full mailbox is
+    *refused* — the envelope is dropped at the receiver's door and
+    counted in ``overflow_dropped``, exactly like a bounded socket
+    buffer.  Reliability recovers it end-to-end: no ack is generated
+    for the lost copy, so the sender's flight times out and
+    retransmits (docs/PROTOCOL.md §14).  Unbounded by default.
     """
 
-    def __init__(self, owner_peer: int, tracker: Optional[WorkTracker] = None) -> None:
+    def __init__(
+        self,
+        owner_peer: int,
+        tracker: Optional[WorkTracker] = None,
+        *,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.owner_peer = int(owner_peer)
         self.tracker = tracker
+        self.capacity = capacity
         self._queue: Deque["Envelope"] = deque()
         self._on_put = None
+        #: Envelopes refused because the mailbox was full.
+        self.overflow_dropped = 0
 
     def set_on_put(self, callback) -> None:
         """Install the wake-up callback (called on every ``put``)."""
         self._on_put = callback
 
-    def put(self, envelope: "Envelope") -> None:
-        """Enqueue one envelope (arrival order is processing order)."""
+    def put(self, envelope: "Envelope") -> bool:
+        """Enqueue one envelope (arrival order is processing order).
+
+        Returns False — without touching the work tracker — when a
+        bounded mailbox is full and the envelope was refused.
+        """
+        if self.capacity is not None and len(self._queue) >= self.capacity:
+            self.overflow_dropped += 1
+            return False
         self._queue.append(envelope)
         if self.tracker is not None:
             self.tracker.inc()
         if self._on_put is not None:
             self._on_put()
+        return True
 
     def drain(self) -> List["Envelope"]:
         """Remove and return everything queued, in arrival order.

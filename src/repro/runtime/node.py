@@ -68,6 +68,12 @@ class PeerNode:
         Clock units per pass-equivalent (scales reliability timeouts).
     instruments:
         Optional runtime metrics handle (``_RuntimeInstruments``).
+    journal:
+        Optional :class:`~repro.recovery.journal.PeerJournal`.  When
+        set, every durable mutation (received batch, event-driven
+        recompute) goes through the journal's log-then-apply wrappers
+        so a supervised restart can replay the peer bitwise
+        (docs/PROTOCOL.md §15).
     """
 
     def __init__(
@@ -84,6 +90,7 @@ class PeerNode:
         reliability: Optional[ReliabilityConfig] = None,
         pass_time: float = 1.0,
         instruments=None,
+        journal=None,
     ) -> None:
         self.peer = peer
         self.mailbox = mailbox
@@ -98,6 +105,7 @@ class PeerNode:
             pass_time=pass_time,
         )
         self._instruments = instruments
+        self._journal = journal
         self._signal = asyncio.Event()
         self._drained = asyncio.Event()
         self._stop = False
@@ -139,6 +147,16 @@ class PeerNode:
     def started(self) -> bool:
         return self._started
 
+    def mark_resumed(self) -> None:
+        """Skip the Fig. 1 initial pass: this node resumes a replayed
+        peer whose state already reflects past computation (§15.4)."""
+        self._started = True
+
+    def flush_outbox(self, now: float) -> None:
+        """Launch whatever is staged in the peer's outbox (used by the
+        supervisor for recovery re-publishes, outside a drain)."""
+        self._flush(now)
+
     # ------------------------------------------------------------------
     # Task body
     # ------------------------------------------------------------------
@@ -179,7 +197,10 @@ class PeerNode:
         for envelope in envelopes:
             if envelope.kind == KIND_BATCH:
                 batch = envelope.payload
-                applied = self.peer.receive_batch(batch.updates)
+                if self._journal is not None:
+                    applied = self._journal.apply_batch(batch.updates)
+                else:
+                    applied = self.peer.receive_batch(batch.updates)
                 self.messages_received += len(batch)
                 self.redeliveries_suppressed += len(batch) - applied
                 for update in batch.updates:
@@ -218,9 +239,12 @@ class PeerNode:
         while work:
             doc = work.popleft()
             queued.discard(doc)
-            _, published = peer.recompute_document(
-                doc, self.damping, self.epsilon, self.peer_of, gate=self.gate
-            )
+            if self._journal is not None:
+                _, published = self._journal.apply_recompute(doc)
+            else:
+                _, published = peer.recompute_document(
+                    doc, self.damping, self.epsilon, self.peer_of, gate=self.gate
+                )
             self.recomputes += 1
             if not published:
                 continue
@@ -262,7 +286,10 @@ class PeerNode:
         envelopes = self.mailbox.drain()
         for envelope in envelopes:
             if envelope.kind == KIND_BATCH:
-                self.peer.receive_batch(envelope.payload.updates)
+                if self._journal is not None:
+                    self._journal.apply_batch(envelope.payload.updates)
+                else:
+                    self.peer.receive_batch(envelope.payload.updates)
             elif envelope.kind == KIND_ACK:
                 self.tracker.on_ack(envelope.payload)
         if envelopes:

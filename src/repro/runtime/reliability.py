@@ -80,6 +80,10 @@ class FlightTracker:
         self.retries = 0
         self.abandoned_updates = 0
         self.abandoned_mass = 0.0
+        # Per-receiver abandonment ledger, so a supervised restart can
+        # forgive exactly the mass its re-publish heals (§15.4).
+        self._abandoned_by_receiver: Dict[int, int] = {}
+        self._abandoned_mass_by_receiver: Dict[int, float] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -134,8 +138,17 @@ class FlightTracker:
             if flight.next_retry > now:
                 continue
             if flight.attempts > self.config.max_retries:
+                receiver = flight.batch.receiver_peer
+                mass = sum(abs(u.value) for u in flight.batch)
                 self.abandoned_updates += len(flight.batch)
-                self.abandoned_mass += sum(abs(u.value) for u in flight.batch)
+                self.abandoned_mass += mass
+                self._abandoned_by_receiver[receiver] = (
+                    self._abandoned_by_receiver.get(receiver, 0)
+                    + len(flight.batch)
+                )
+                self._abandoned_mass_by_receiver[receiver] = (
+                    self._abandoned_mass_by_receiver.get(receiver, 0.0) + mass
+                )
                 del self._flights[fid]
                 continue
             flight.attempts += 1
@@ -149,3 +162,30 @@ class FlightTracker:
         if not self._flights:
             return None
         return min(f.next_retry for f in self._flights.values())
+
+    # ------------------------------------------------------------------
+    # Crash-recovery hooks (docs/PROTOCOL.md §15)
+    # ------------------------------------------------------------------
+    def wipe(self) -> int:
+        """Crash-with-state-loss: drop every in-flight batch without
+        abandonment accounting (the flights died *with* the sender;
+        the restarted peer re-publishes instead).  Returns the number
+        of updates destroyed, for state-loss bookkeeping."""
+        lost = sum(len(f.batch) for f in self._flights.values())
+        self._flights.clear()
+        return lost
+
+    def forgive(self, receiver: int) -> int:
+        """Clear the abandonment ledger toward one receiver.
+
+        Called after anti-entropy re-publish toward a restarted peer:
+        the re-publish stages the current value of every edge into the
+        receiver at ≥ the abandoned versions, so the abandoned updates
+        are superseded, not lost — they stop blocking convergence.
+        Returns the number of updates forgiven.
+        """
+        count = self._abandoned_by_receiver.pop(receiver, 0)
+        mass = self._abandoned_mass_by_receiver.pop(receiver, 0.0)
+        self.abandoned_updates -= count
+        self.abandoned_mass -= mass
+        return count

@@ -36,6 +36,7 @@ through :mod:`repro.obs` (catalogue: docs/OBSERVABILITY.md).
 from __future__ import annotations
 
 import asyncio
+import os
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -67,7 +68,7 @@ class _RuntimeInstruments:
     __slots__ = (
         "messages", "batches", "delivered", "acks", "retries", "suppressed",
         "recomputes", "abandoned", "deferred", "rounds", "backlog",
-        "quiesce_time",
+        "overflow", "quiesce_time",
     )
 
     def __init__(self, reg) -> None:
@@ -114,6 +115,10 @@ class _RuntimeInstruments:
         self.backlog = reg.histogram(
             "runtime.mailbox_backlog", unit="envelopes",
             description="mailbox depth observed at each drain",
+        )
+        self.overflow = reg.counter(
+            "runtime.mailbox_overflow", unit="envelopes",
+            description="envelopes refused by bounded mailboxes at capacity",
         )
         self.quiesce_time = reg.gauge(
             "runtime.quiesce_time", unit="time",
@@ -162,6 +167,14 @@ class RuntimeReport:
         run).
     epsilon:
         The convergence threshold the run used.
+    mailbox_overflow:
+        Envelopes refused by bounded mailboxes at capacity (recovered
+        end-to-end by sender retransmission).
+    crashes:
+        Peer crashes the recovery supervisor applied (0 without a
+        recovery config).
+    restarts:
+        Supervised restarts from WAL+snapshot replay.
     """
 
     ranks: np.ndarray
@@ -179,6 +192,9 @@ class RuntimeReport:
     deferred_deliveries: int
     max_staleness: float
     epsilon: float
+    mailbox_overflow: int = 0
+    crashes: int = 0
+    restarts: int = 0
 
 
 class AsyncPeerRuntime:
@@ -218,6 +234,18 @@ class AsyncPeerRuntime:
         Seed for the default transport's latency sampling.
     registry:
         Metrics registry (defaults to the process registry).
+    recovery:
+        Optional :class:`~repro.recovery.supervisor.RecoveryConfig`.
+        When set, every peer runs behind a durability journal
+        (WAL + snapshots) and a supervisor applies the fault plan's
+        crash schedule for real: the peer task dies losing volatile
+        state, a heartbeat failure detector notices the silence, and
+        the supervisor restarts the task from bitwise WAL replay plus
+        anti-entropy re-publish (docs/PROTOCOL.md §15).  Deterministic
+        scheduler mode only.
+    mailbox_capacity:
+        Optional bound on every peer mailbox (overflow envelopes are
+        refused and recovered by sender retransmission, §14).
 
     A runtime instance is single-shot: construct a fresh one per run.
     """
@@ -239,6 +267,8 @@ class AsyncPeerRuntime:
         pass_time: float = 1.0,
         seed: SeedLike = None,
         registry=None,
+        recovery=None,
+        mailbox_capacity: Optional[int] = None,
     ) -> None:
         check_threshold("damping", damping)
         check_threshold("epsilon", epsilon)
@@ -283,12 +313,50 @@ class AsyncPeerRuntime:
             registry if registry is not None else get_registry()
         )
         self._peer_of = network.placement.assignment
+        self._reliability = reliability
+        self.mailbox_capacity = mailbox_capacity
+        self._recovery = recovery
+        self._supervisor = None
+        self._journals: dict = {}
+        if recovery is not None:
+            # Imported here: repro.recovery's package init pulls in the
+            # soak harness, which imports this module.
+            from repro.recovery.journal import PeerJournal
+            from repro.recovery.supervisor import Supervisor
+            from repro.recovery.wal import WriteAheadLog
+
+            plan = getattr(transport, "faults", None)
+            events = plan.crash_events() if plan is not None else ()
+            self._supervisor = Supervisor(
+                network.num_peers,
+                events,
+                pass_time=pass_time,
+                config=recovery,
+            )
         docs_by_peer = network.placement.docs_by_peer()
         self.nodes: List[PeerNode] = []
         for pid in range(network.num_peers):
             peer = Peer(pid, docs_by_peer[pid], graph, init_rank=self.init_rank)
-            mailbox = Mailbox(pid, self._tracker)
+            mailbox = Mailbox(pid, self._tracker, capacity=mailbox_capacity)
             transport.connect(pid, mailbox)
+            journal = None
+            if recovery is not None:
+                wal = None
+                if recovery.wal_dir is not None:
+                    wal = WriteAheadLog(
+                        os.path.join(recovery.wal_dir, f"peer{pid}.wal.jsonl")
+                    )
+                journal = PeerJournal(
+                    peer,
+                    graph,
+                    damping=self.damping,
+                    epsilon=self.epsilon,
+                    peer_of=self._peer_of,
+                    gate=gate,
+                    snapshot_interval=recovery.snapshot_interval,
+                    wal=wal,
+                )
+                self._journals[pid] = journal
             self.nodes.append(
                 PeerNode(
                     peer,
@@ -302,6 +370,7 @@ class AsyncPeerRuntime:
                     reliability=reliability,
                     pass_time=pass_time,
                     instruments=self._obs,
+                    journal=journal,
                 )
             )
         self._ran = False
@@ -311,15 +380,24 @@ class AsyncPeerRuntime:
     # Deterministic scheduler mode
     # ------------------------------------------------------------------
     async def run(
-        self, *, max_time: Optional[float] = None, max_rounds: int = 1_000_000
+        self,
+        *,
+        max_time: Optional[float] = None,
+        max_rounds: int = 1_000_000,
+        round_hook=None,
     ) -> RuntimeReport:
         """Drive the system to quiescence under the virtual clock.
 
-        One round: deliver due envelopes (seeded total order), wake
-        each peer task in ascending id to drain and service timers,
-        then advance the clock to the next scheduled event.  Returns
-        the report once nothing is scheduled anywhere (natural
-        quiescence) or a budget is exhausted.
+        One round: apply due supervised crashes, deliver due envelopes
+        (seeded total order), wake each live peer task in ascending id
+        to drain and service timers, heartbeat the survivors, run the
+        failure detector and any due supervised restarts, then advance
+        the clock to the next scheduled event.  Returns the report
+        once nothing is scheduled anywhere (natural quiescence) or a
+        budget is exhausted.
+
+        ``round_hook(rounds, runtime)``, if given, is called after
+        every round — the soak harness's continuous invariant probe.
         """
         if self._ran:
             raise RuntimeError("a runtime instance is single-shot; build a new one")
@@ -331,24 +409,44 @@ class AsyncPeerRuntime:
             )
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        sup = self._supervisor
         for node in self.nodes:
             node.task = asyncio.create_task(node.run())
         # Startup round: the Fig. 1 concurrent initial pass, ordered by
         # peer id so first-send sequence numbers are reproducible.
         for node in self.nodes:
             await node.step()
+        if sup is not None:
+            for node in self.nodes:
+                sup.detector.heartbeat(node.peer.peer_id, self._clock.now())
         rounds = 0
         quiesced = False
         while rounds < max_rounds:
             now = self._clock.now()
+            if sup is not None:
+                for pid in sup.crashes_due(now):
+                    await self._apply_crash(pid, now)
             self.transport.deliver_due(now)
             for node in self.nodes:
+                if sup is not None and sup.is_down(node.peer.peer_id):
+                    continue
                 if not node.mailbox.empty or node.timer_due(now):
                     await node.step()
+            if sup is not None:
+                for node in self.nodes:
+                    if not sup.is_down(node.peer.peer_id):
+                        sup.detector.heartbeat(node.peer.peer_id, now)
+                sup.observe(now)
+                for pid in sup.restarts_due(now):
+                    await self._apply_restart(pid, now)
             rounds += 1
             self._obs.rounds.inc()
+            if round_hook is not None:
+                round_hook(rounds, self)
             candidates = [self.transport.next_due()]
             candidates.extend(node.tracker.next_due() for node in self.nodes)
+            if sup is not None:
+                candidates.append(sup.next_event(now))
             times = [t for t in candidates if t is not None]
             if not times:
                 quiesced = True
@@ -359,6 +457,97 @@ class AsyncPeerRuntime:
             self._clock.advance_to(t_next)
         await self.shutdown()
         return self._report(quiesced=quiesced, rounds=rounds)
+
+    # ------------------------------------------------------------------
+    # Supervised crash/restart mechanics (docs/PROTOCOL.md §15)
+    # ------------------------------------------------------------------
+    async def _apply_crash(self, pid: int, now: float) -> None:
+        """Kill one peer task with state loss: queued envelopes, the
+        outbox, the deferred store, and in-flight batches all die; the
+        journal (WAL + snapshot) survives."""
+        sup = self._supervisor
+        assert sup is not None
+        node = self.nodes[pid]
+        journal = self._journals[pid]
+        if self._recovery.verify_replay_on_crash and not journal.verify_replay():
+            sup.instruments.state_loss.inc()
+        # Queued envelopes die unprocessed (balance the work tracker).
+        lost_envelopes = node.mailbox.drain()
+        node.mailbox.done(len(lost_envelopes))
+        node.peer.crash_volatile()
+        node.tracker.wipe()
+        node.request_stop()
+        if node.task is not None:
+            await node.task
+            node.task = None
+        self.transport.set_down(pid)
+        sup.note_crash_applied(pid)
+
+    async def _apply_restart(self, pid: int, now: float) -> None:
+        """Resurrect one peer task from bitwise WAL+snapshot replay,
+        then heal staleness in both directions: the recovered peer
+        re-announces its published values, and live neighbors
+        re-publish toward it (forgiving flights they had abandoned
+        while it was down — anti-entropy catch-up, §15.4)."""
+        sup = self._supervisor
+        assert sup is not None
+        journal = self._journals[pid]
+        old = self.nodes[pid]
+        peer = journal.replay()
+        journal.rebind(peer)
+        # Compact so the next replay starts from the restored state.
+        journal.compact()
+        mailbox = Mailbox(pid, self._tracker, capacity=self.mailbox_capacity)
+        mailbox.overflow_dropped = old.mailbox.overflow_dropped
+        self.transport.connect(pid, mailbox)
+        node = PeerNode(
+            peer,
+            mailbox,
+            self.transport,
+            self._clock,
+            damping=self.damping,
+            epsilon=self.epsilon,
+            peer_of=self._peer_of,
+            gate=self.gate,
+            reliability=self._reliability,
+            pass_time=self.pass_time,
+            instruments=self._obs,
+            journal=journal,
+        )
+        # The crashed node's counters and abandonment ledger carry over
+        # (its flight table was wiped at the crash, so reuse is clean).
+        node.tracker = old.tracker
+        node.messages_sent = old.messages_sent
+        node.batches_sent = old.batches_sent
+        node.messages_received = old.messages_received
+        node.acks_sent = old.acks_sent
+        node.recomputes = old.recomputes
+        node.redeliveries_suppressed = old.redeliveries_suppressed
+        node.mark_resumed()
+        self.nodes[pid] = node
+        node.task = asyncio.create_task(node.run())
+        released = self.transport.clear_down(pid, now)
+        if released:
+            sup.instruments.parked.inc(released)
+        sup.mark_restarted(pid, now)
+        # Recovered peer re-announces its persisted published values
+        # (equal-version replays are idempotent at receivers).
+        staged = peer.reboot_republish(self._peer_of)
+        if staged:
+            sup.instruments.republished.inc(staged)
+            node.flush_outbox(now)
+        if self._recovery.neighbor_republish:
+            for other in self.nodes:
+                opid = other.peer.peer_id
+                if opid == pid or sup.is_down(opid):
+                    continue
+                refreshed = other.peer.republish_to(pid, self._peer_of)
+                if refreshed:
+                    sup.instruments.republished.inc(refreshed)
+                    other.flush_outbox(now)
+                healed = other.tracker.forgive(pid)
+                if healed:
+                    sup.instruments.healed.inc(healed)
 
     # ------------------------------------------------------------------
     # Free-running mode
@@ -383,6 +572,11 @@ class AsyncPeerRuntime:
         if self._ran:
             raise RuntimeError("a runtime instance is single-shot; build a new one")
         self._ran = True
+        if self._supervisor is not None:
+            raise RuntimeError(
+                "recovery supervision requires deterministic mode; "
+                "free-running restarts are not reproducible"
+            )
         check_positive("quiet_window", quiet_window)
         check_positive("timeout", timeout)
         check_positive("tick", tick)
@@ -486,6 +680,7 @@ class AsyncPeerRuntime:
         abandoned = sum(n.tracker.abandoned_updates for n in self.nodes)
         deferred = int(getattr(self.transport, "deferred_deliveries", 0))
         delivered = int(getattr(self.transport, "delivered_messages", 0))
+        overflow = sum(n.mailbox.overflow_dropped for n in self.nodes)
         staleness = self.staleness_probe()
         clock_time = float(self._clock.now())
         converged = bool(
@@ -501,8 +696,24 @@ class AsyncPeerRuntime:
         obs.recomputes.inc(recomputes)
         obs.abandoned.inc(abandoned)
         obs.deferred.inc(deferred)
+        obs.overflow.inc(overflow)
         if quiesced:
             obs.quiesce_time.set(clock_time)
+        crashes = restarts = 0
+        sup = self._supervisor
+        if sup is not None:
+            crashes = sup.crashes_applied
+            restarts = sup.restarts_applied
+            journals = self._journals.values()
+            sup.instruments.wal_records.inc(
+                sum(j.records_appended for j in journals)
+            )
+            sup.instruments.snapshots.inc(
+                sum(j.snapshots_taken for j in journals)
+            )
+            sup.instruments.replayed.inc(
+                sum(j.replayed_records for j in journals)
+            )
         return RuntimeReport(
             ranks=self.gather_ranks(),
             converged=converged,
@@ -519,4 +730,7 @@ class AsyncPeerRuntime:
             deferred_deliveries=deferred,
             max_staleness=staleness,
             epsilon=self.epsilon,
+            mailbox_overflow=overflow,
+            crashes=crashes,
+            restarts=restarts,
         )

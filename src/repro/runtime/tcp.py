@@ -15,6 +15,15 @@ order, no fault injection) — deterministic differential runs use
 :class:`~repro.runtime.transport.InMemoryTransport`.  Reliability is
 unchanged: flights, acks and retries live above the transport in
 :class:`~repro.runtime.reliability.FlightTracker`.
+
+Connection loss is a surfaced *event*, not an exception: a peer whose
+client connection drops mid-run gets one reconnect-once grace redial;
+a second loss (or a failed redial) lands in :attr:`TcpTransport.drop_events`
+and fires the :meth:`TcpTransport.set_on_peer_drop` callback so the
+caller can decide to restart or excommunicate the peer
+(docs/PROTOCOL.md §15.3).  Switch-side disconnects are absorbed the
+same way — the forwarding loop never propagates a
+``ConnectionResetError`` out of the server task.
 """
 
 from __future__ import annotations
@@ -63,6 +72,27 @@ class TcpTransport(Transport):
         # part of the runtime's idle check.
         self._in_flight = 0
         self._started = False
+        self._stopping = False
+        #: ``(peer_id, reason)`` connection drops that survived the
+        #: reconnect-once grace path (a transport event, not a crash).
+        self.drop_events: List[tuple] = []
+        self._on_peer_drop = None
+        #: Successful grace-path redials.
+        self.reconnects = 0
+        #: Switch-side connection losses absorbed by the router.
+        self.switch_disconnects = 0
+        #: Sends refused because the sender's connection was closing.
+        self.sends_refused = 0
+
+    def set_on_peer_drop(self, callback) -> None:
+        """Install a ``callback(peer_id, reason)`` fired when a peer's
+        connection is lost beyond the reconnect-once grace path."""
+        self._on_peer_drop = callback
+
+    def _record_drop(self, peer_id: int, reason: str) -> None:
+        self.drop_events.append((int(peer_id), reason))
+        if self._on_peer_drop is not None:
+            self._on_peer_drop(int(peer_id), reason)
 
     # ------------------------------------------------------------------
     def connect(self, peer_id: int, mailbox) -> None:
@@ -104,6 +134,7 @@ class TcpTransport(Transport):
         """Close every connection and the switch server."""
         if self._server is None:
             return
+        self._stopping = True
         for writer in self._client_writers.values():
             writer.close()
         self._server.close()
@@ -134,37 +165,99 @@ class TcpTransport(Transport):
             while True:
                 line = await reader.readline()
                 if not line:
+                    # Clean EOF: the peer hung up (or is redialling);
+                    # absorbed as a switch event, never an exception.
+                    self._note_switch_loss(peer_id, writer)
                     return
                 receiver = int(json.loads(line)["receiver"])
                 out = self._switch_writers.get(receiver)
                 if out is None or out.is_closing():
                     self._in_flight -= 1
                     continue
-                out.write(line)
-                await out.drain()
-        except (asyncio.CancelledError, ConnectionError):
+                try:
+                    out.write(line)
+                    await out.drain()
+                except ConnectionError:
+                    # The *receiver's* connection died mid-forward:
+                    # drop the line, deregister the dead writer, and
+                    # keep routing for everyone else.
+                    self._in_flight -= 1
+                    self._note_switch_loss(receiver, out)
+        except asyncio.CancelledError:
             return
+        except ConnectionError:
+            self._note_switch_loss(peer_id, writer)
+            return
+
+    def _note_switch_loss(self, peer_id: int, writer: asyncio.StreamWriter) -> None:
+        """Deregister a dead switch-side connection (idempotent)."""
+        if self._switch_writers.get(peer_id) is writer:
+            del self._switch_writers[peer_id]
+            if not self._stopping:
+                self.switch_disconnects += 1
 
     # ------------------------------------------------------------------
     # Client side
     # ------------------------------------------------------------------
     async def _client_pump(self, peer_id: int, reader: asyncio.StreamReader) -> None:
-        """Read routed lines into this peer's mailbox."""
+        """Read routed lines into this peer's mailbox.
+
+        Connection loss gets one grace redial (reconnect-once); a
+        second loss — or a failed redial — surfaces as a drop event.
+        """
         mailbox = self._mailboxes[peer_id]
-        try:
-            while True:
+        redialled = False
+        while True:
+            try:
                 line = await reader.readline()
-                if not line:
-                    return
+            except asyncio.CancelledError:
+                return
+            except ConnectionError:
+                line = b""
+            if line:
                 mailbox.put(decode_envelope(line))
                 self._in_flight -= 1
-        except (asyncio.CancelledError, ConnectionError):
-            return
+                continue
+            if self._stopping:
+                return
+            if redialled:
+                self._record_drop(peer_id, "connection lost after reconnect")
+                return
+            redialled = True
+            new_reader = await self._redial(peer_id)
+            if new_reader is None:
+                self._record_drop(peer_id, "reconnect failed")
+                return
+            self.reconnects += 1
+            reader = new_reader
+
+    async def _redial(self, peer_id: int) -> Optional[asyncio.StreamReader]:
+        """Reconnect-once grace path: dial the switch again, re-hello,
+        and swap in the fresh connection.  Returns the new reader, or
+        None when the redial itself fails."""
+        try:
+            reader, writer = await asyncio.open_connection(self.host, self.port)
+            writer.write(
+                (json.dumps({"hello": peer_id}, separators=(",", ":")) + "\n").encode()
+            )
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return None
+        old = self._client_writers.get(peer_id)
+        if old is not None and not old.is_closing():
+            old.close()
+        self._client_writers[peer_id] = writer
+        return reader
 
     def _submit(self, envelope: Envelope) -> None:
         if not self._started:
             raise RuntimeError("transport not started; call start() first")
         writer = self._client_writers[envelope.sender]
+        if writer.is_closing():
+            # Connection mid-redial (or gone): refuse the send; the
+            # flight tracker's retransmit recovers it end-to-end.
+            self.sends_refused += 1
+            return
         self._in_flight += 1
         writer.write(encode_envelope(envelope))
 

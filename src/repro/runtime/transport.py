@@ -170,6 +170,10 @@ class InMemoryTransport(Transport):
         # (deliver_time, sequence, envelope) — the total delivery order.
         self._heap: List[Tuple[float, int, Envelope]] = []
         self._seq = 0
+        # Crashed peers (supervisor-managed): deliveries to them are
+        # parked here until the peer restarts (docs/PROTOCOL.md §15.4).
+        self._down: set = set()
+        self._parked_down: Dict[int, List[Envelope]] = {}
         # Plain counters the runtime folds into its report/metrics.
         self.dropped_updates = 0
         self.duplicated_updates = 0
@@ -178,6 +182,7 @@ class InMemoryTransport(Transport):
         self.acks_dropped = 0
         self.deferred_deliveries = 0
         self.delivered_messages = 0
+        self.parked_deliveries = 0
 
     # ------------------------------------------------------------------
     def connect(self, peer_id: int, mailbox) -> None:
@@ -185,8 +190,29 @@ class InMemoryTransport(Transport):
 
     @property
     def pending(self) -> int:
-        """Envelopes scheduled but not yet delivered."""
-        return len(self._heap)
+        """Envelopes scheduled or parked but not yet delivered."""
+        return len(self._heap) + sum(
+            len(v) for v in self._parked_down.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Crash-recovery hooks (docs/PROTOCOL.md §15.4)
+    # ------------------------------------------------------------------
+    def set_down(self, peer_id: int) -> None:
+        """Mark a peer crashed: due deliveries to it are parked, not
+        fed to its (dead) mailbox."""
+        self._down.add(int(peer_id))
+
+    def clear_down(self, peer_id: int, now: float) -> int:
+        """Mark a peer restarted and reschedule its parked envelopes
+        for immediate delivery (at ``now``, preserving park order).
+        Returns the number of envelopes released."""
+        peer_id = int(peer_id)
+        self._down.discard(peer_id)
+        parked = self._parked_down.pop(peer_id, [])
+        for envelope in parked:
+            self._schedule(now, envelope)
+        return len(parked)
 
     def next_due(self) -> Optional[float]:
         """Deliver time of the earliest scheduled envelope."""
@@ -278,6 +304,12 @@ class InMemoryTransport(Transport):
         delivered = 0
         while self._heap and self._heap[0][0] <= now:
             when, _, envelope = heapq.heappop(self._heap)
+            if envelope.receiver in self._down:
+                self.parked_deliveries += 1
+                self._parked_down.setdefault(envelope.receiver, []).append(
+                    envelope
+                )
+                continue
             if self.availability is not None:
                 up_at = self.availability.next_up(envelope.receiver, when)
                 if up_at > now:

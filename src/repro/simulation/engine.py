@@ -338,7 +338,7 @@ class P2PPagerankSimulation:
                         lost = self.peers[p].crash_volatile()
                         lost += transport.wipe_sender(p)
                         transport.note_crash(p, lost)
-                        crash_down[p] = self.faults.spec.crash_down_passes
+                        crash_down[p] = self.faults.down_passes_for(t, p)
                         needs_republish.add(p)
                     if crash_down.any():
                         live = live & (crash_down <= 0)

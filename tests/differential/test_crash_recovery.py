@@ -1,0 +1,137 @@
+"""Crash-recovery differential: supervised restarts vs the reference.
+
+The recovery claim (docs/PROTOCOL.md §15): a runtime run with injected
+mid-run crashes — volatile state wiped, peers down for whole passes,
+restarts replayed from WAL+snapshot with anti-entropy re-publish —
+still converges to the same ε-gated fixed-point region as the
+fault-free pass simulator, and the whole timeline (crash, detection,
+restart, recovery) is bitwise reproducible per seed under the virtual
+clock.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.graphs import broder_graph
+from repro.p2p import DocumentPlacement, P2PNetwork
+from repro.recovery import RecoveryConfig
+from repro.runtime import AsyncPeerRuntime
+from repro.simulation import P2PPagerankSimulation
+
+SEEDS = (0, 1, 2)
+SIZES = (120, 300)
+EPSILON = 1e-4
+AGREEMENT_TOLERANCE = 5e-3
+
+#: Mixed 2- and 3-tuple crash events: peer 1 down for the default
+#: spell at pass 2, peer 2 down four passes at pass 4.
+CRASHES = ((2, 1), (4, 2, 3))
+
+
+def build(seed, size):
+    graph = broder_graph(size, seed=seed)
+    peers = max(4, size // 30)
+    placement = DocumentPlacement.random(size, peers, seed=seed + 1)
+    return graph, peers, placement
+
+
+def run_recovery_runtime(graph, peers, placement, *, drop_rate=0.0, **recovery):
+    plan = FaultPlan(
+        FaultSpec(drop_rate=drop_rate, crashes=CRASHES), seed=123
+    )
+    network = P2PNetwork(peers, placement, build_ring=False)
+    runtime = AsyncPeerRuntime(
+        graph, network, epsilon=EPSILON, seed=77,
+        faults=plan, recovery=RecoveryConfig(**recovery),
+    )
+    return asyncio.run(runtime.run()), runtime
+
+
+def run_simulator(graph, peers, placement):
+    network = P2PNetwork(peers, placement, build_ring=False)
+    sim = P2PPagerankSimulation(graph, network, epsilon=EPSILON)
+    return sim.run(keep_history=False)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_crashed_runtime_agrees_with_fault_free_reference(seed, size):
+    graph, peers, placement = build(seed, size)
+    report, runtime = run_recovery_runtime(graph, peers, placement)
+    reference = run_simulator(graph, peers, placement)
+
+    assert report.converged and reference.converged
+    assert report.crashes == 2
+    assert report.restarts == 2
+    assert report.abandoned_updates == 0
+    rel = np.abs(report.ranks - reference.ranks) / np.abs(reference.ranks)
+    assert float(np.percentile(rel, 99)) < AGREEMENT_TOLERANCE
+    assert report.ranks.sum() == pytest.approx(reference.ranks.sum(), rel=1e-3)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_crash_recovery_is_bitwise_reproducible(seed):
+    graph, peers, placement = build(seed, 120)
+    first, _ = run_recovery_runtime(graph, peers, placement, drop_rate=0.1)
+    second, _ = run_recovery_runtime(graph, peers, placement, drop_rate=0.1)
+    assert np.array_equal(first.ranks, second.ranks)
+    assert first.rounds == second.rounds
+    assert first.messages == second.messages
+    assert first.crashes == second.crashes == 2
+
+
+def test_every_crash_passes_the_bitwise_replay_check():
+    graph, peers, placement = build(0, 120)
+    with obs.use_registry() as reg:
+        report, _ = run_recovery_runtime(
+            graph, peers, placement, verify_replay_on_crash=True
+        )
+        snap = reg.snapshot()
+    assert report.converged
+    # verify_replay ran at both crashes and never failed (§15.1).
+    assert snap["recovery.crashes"]["value"] == 2
+    assert snap["recovery.state_loss"]["value"] == 0
+    assert snap["recovery.restarts"]["value"] == 2
+    assert snap["recovery.wal_records"]["value"] > 0
+
+
+def test_recovery_under_loss_still_converges():
+    graph, peers, placement = build(1, 120)
+    report, runtime = run_recovery_runtime(graph, peers, placement, drop_rate=0.1)
+    reference = run_simulator(graph, peers, placement)
+    assert report.converged
+    assert report.abandoned_updates == 0
+    rel = np.abs(report.ranks - reference.ranks) / np.abs(reference.ranks)
+    assert float(np.percentile(rel, 99)) < AGREEMENT_TOLERANCE
+
+
+def test_detection_waits_for_heartbeat_timeout():
+    graph, peers, placement = build(2, 120)
+    _, quick = run_recovery_runtime(
+        graph, peers, placement, heartbeat_timeout_passes=2.0
+    )
+    report, slow = run_recovery_runtime(
+        graph, peers, placement, heartbeat_timeout_passes=6.0
+    )
+    assert report.converged
+    # Restarts gate on suspicion: a slower detector must delay at least
+    # one restart, and can never restart a peer earlier.
+    quick_restarts = {p: t for p, _, t in quick._supervisor.history}
+    slow_restarts = {p: t for p, _, t in slow._supervisor.history}
+    assert set(quick_restarts) == set(slow_restarts)
+    assert all(slow_restarts[p] >= quick_restarts[p] for p in quick_restarts)
+    assert any(slow_restarts[p] > quick_restarts[p] for p in quick_restarts)
+
+
+def test_file_backed_wal_written_per_peer(tmp_path):
+    graph, peers, placement = build(0, 120)
+    report, runtime = run_recovery_runtime(
+        graph, peers, placement, wal_dir=str(tmp_path)
+    )
+    assert report.converged
+    files = sorted(p.name for p in tmp_path.iterdir())
+    assert files == [f"peer{i}.wal.jsonl" for i in range(peers)]

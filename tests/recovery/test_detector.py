@@ -1,0 +1,87 @@
+"""Tests of the heartbeat failure detector."""
+
+import pytest
+
+from repro.recovery import HeartbeatFailureDetector
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(0, timeout=1.0)
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(2, timeout=0.0)
+        with pytest.raises(ValueError):
+            HeartbeatFailureDetector(2, timeout=1.0, phi_threshold=-1.0)
+
+
+class TestHardTimeout:
+    def test_fresh_heartbeat_not_suspected(self):
+        det = HeartbeatFailureDetector(2, timeout=2.0)
+        det.heartbeat(0, 1.0)
+        assert not det.suspect(0, 1.5)
+
+    def test_suspected_at_exact_deadline(self):
+        # >= not >: a scheduler round landing exactly on the deadline
+        # must detect, or the virtual clock can stall.
+        det = HeartbeatFailureDetector(2, timeout=2.0)
+        det.heartbeat(0, 1.0)
+        assert not det.suspect(0, 2.999)
+        assert det.suspect(0, 3.0)
+
+    def test_never_heard_suspected_after_timeout(self):
+        det = HeartbeatFailureDetector(2, timeout=2.0)
+        assert not det.suspect(0, 1.0)
+        assert det.suspect(0, 2.0)
+
+    def test_suspected_list_ascending(self):
+        det = HeartbeatFailureDetector(3, timeout=1.0)
+        det.heartbeat(1, 5.0)
+        assert det.suspected(5.5) == [0, 2]
+        assert det.suspected(6.0) == [0, 1, 2]
+
+    def test_forget_resets_history(self):
+        det = HeartbeatFailureDetector(2, timeout=2.0)
+        det.heartbeat(0, 1.0)
+        det.forget(0)
+        assert det.last_heartbeat(0) is None
+        det.heartbeat(0, 10.0)
+        assert not det.suspect(0, 11.0)
+
+
+class TestDeadline:
+    def test_deadline_tracks_last_heartbeat(self):
+        det = HeartbeatFailureDetector(2, timeout=2.0)
+        det.heartbeat(0, 3.0)
+        assert det.deadline(0) == 5.0
+
+    def test_next_deadline_min_over_peers(self):
+        det = HeartbeatFailureDetector(3, timeout=2.0)
+        det.heartbeat(0, 1.0)
+        det.heartbeat(1, 4.0)
+        assert det.next_deadline((0, 1)) == 3.0
+        assert det.next_deadline(()) is None
+
+
+class TestPhiAccrual:
+    def test_phi_grows_with_silence(self):
+        det = HeartbeatFailureDetector(1, timeout=100.0, phi_threshold=3.0)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            det.heartbeat(0, t)
+        # Mean inter-arrival is 1.0; phi is elapsed silence in means.
+        assert det.phi(0, 5.0) == pytest.approx(1.0)
+        assert not det.suspect(0, 6.0)
+        assert det.suspect(0, 7.5)
+
+    def test_phi_mode_keeps_hard_timeout_bound(self):
+        det = HeartbeatFailureDetector(1, timeout=2.0, phi_threshold=50.0)
+        det.heartbeat(0, 1.0)
+        det.heartbeat(0, 2.0)
+        # phi is tiny, but the hard timeout still applies.
+        assert det.suspect(0, 4.0)
+
+    def test_phi_zero_without_history(self):
+        det = HeartbeatFailureDetector(1, timeout=5.0, phi_threshold=2.0)
+        det.heartbeat(0, 1.0)
+        assert det.phi(0, 3.0) == 0.0
+        assert not det.suspect(0, 3.0)

@@ -1,0 +1,56 @@
+"""Tests of peer snapshots: capture, restore, serialisation."""
+
+import numpy as np
+
+from repro.graphs import two_peer_example
+from repro.p2p import PagerankUpdate, Peer
+from repro.recovery import PeerSnapshot, durable_state_equal
+
+
+def make_mutated_peer():
+    """A peer with non-trivial durable state in every field."""
+    g = two_peer_example()
+    peer_of = np.array([0, 0, 0, 1, 1, 1])
+    peer = Peer(0, [0, 1, 2], g)
+    peer.receive_batch(
+        [
+            PagerankUpdate(target_doc=0, source_doc=3, value=0.7, version=2),
+            PagerankUpdate(target_doc=1, source_doc=5, value=1.3, version=1),
+        ]
+    )
+    for doc in (0, 1, 2):
+        peer.recompute_document(doc, 0.85, 1e-6, peer_of)
+    return g, peer
+
+
+class TestCaptureRestore:
+    def test_restore_is_bitwise_equal(self):
+        g, peer = make_mutated_peer()
+        snap = PeerSnapshot.capture(peer)
+        restored = snap.restore(g)
+        assert durable_state_equal(restored, peer)
+
+    def test_capture_is_a_copy(self):
+        g, peer = make_mutated_peer()
+        snap = PeerSnapshot.capture(peer)
+        before = dict(snap.rank)
+        peer.receive_batch(
+            [PagerankUpdate(target_doc=0, source_doc=3, value=9.0, version=5)]
+        )
+        peer.recompute_document(0, 0.85, 1e-6, np.array([0, 0, 0, 1, 1, 1]))
+        assert snap.rank == before
+
+    def test_restored_peer_has_empty_volatile_state(self):
+        g, peer = make_mutated_peer()
+        peer.outbox.stage(1, PagerankUpdate(target_doc=3, source_doc=0, value=1.0))
+        restored = PeerSnapshot.capture(peer).restore(g)
+        assert len(restored.outbox) == 0
+
+
+class TestSerialisation:
+    def test_json_round_trip(self):
+        g, peer = make_mutated_peer()
+        snap = PeerSnapshot.capture(peer)
+        back = PeerSnapshot.from_json(snap.to_json())
+        assert back == snap
+        assert durable_state_equal(back.restore(g), peer)

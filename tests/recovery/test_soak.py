@@ -1,0 +1,100 @@
+"""Tests of the chaos soak harness."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.recovery import SoakConfig, build_soak_plan, run_soak
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoakConfig(docs=1)
+        with pytest.raises(ValueError):
+            SoakConfig(peers=1)
+        with pytest.raises(ValueError):
+            SoakConfig(crashes=-1)
+        with pytest.raises(ValueError):
+            SoakConfig(down_passes_max=1)
+        with pytest.raises(ValueError):
+            SoakConfig(check_every=0)
+
+
+class TestPlanDrawing:
+    def test_plan_is_seed_deterministic(self):
+        cfg = SoakConfig(crashes=3, partitions=2)
+        a = build_soak_plan(cfg, 7)
+        b = build_soak_plan(cfg, 7)
+        assert a.spec.crashes == b.spec.crashes
+        assert a.spec.partitions == b.spec.partitions
+        c = build_soak_plan(cfg, 8)
+        assert (
+            c.spec.crashes != a.spec.crashes
+            or c.spec.partitions != a.spec.partitions
+        )
+
+    def test_drawn_events_in_bounds(self):
+        cfg = SoakConfig(peers=6, crashes=8, partitions=4, down_passes_max=5)
+        plan = build_soak_plan(cfg, 3)
+        for t, peer, down in plan.spec.crashes:
+            assert 1 <= t <= 7
+            assert 0 <= peer < 6
+            assert 2 <= down <= 5
+        for part in plan.spec.partitions:
+            assert part.peer_a != part.peer_b
+            assert part.end_pass is not None and part.end_pass > part.start_pass
+
+
+class TestRunSoak:
+    def test_clean_schedule_has_zero_violations(self):
+        report = run_soak(SoakConfig(docs=80, peers=4, crashes=1), seed=0)
+        assert report.ok
+        assert report.converged
+        assert report.crashes >= 1
+        assert report.restarts == report.crashes
+        assert report.abandoned_updates == 0
+        assert report.p99_error <= 5e-3
+        assert report.mass_error <= 0.02
+
+    def test_soak_is_seed_reproducible(self):
+        cfg = SoakConfig(docs=80, peers=4, crashes=1)
+        a = run_soak(cfg, seed=5)
+        b = run_soak(cfg, seed=5)
+        assert a.rounds == b.rounds
+        assert a.p99_error == b.p99_error
+        assert a.mass_error == b.mass_error
+
+    def test_impossible_tolerance_reports_violation(self):
+        report = run_soak(
+            SoakConfig(docs=80, peers=4, crashes=1, rank_tolerance=0.0),
+            seed=0,
+        )
+        assert not report.ok
+        assert any(v.kind == "rank_divergence" for v in report.violations)
+
+    def test_incidents_stream_to_trace_sink(self, tmp_path):
+        path = str(tmp_path / "incidents.jsonl")
+        with obs.TraceSink(path) as sink:
+            run_soak(
+                SoakConfig(docs=80, peers=4, crashes=1, rank_tolerance=0.0),
+                seed=0,
+                trace=sink,
+            )
+        events = [json.loads(line) for line in open(path)]
+        names = [e["name"] for e in events]
+        assert "recovery.incident" in names
+        assert names[-1] == "recovery.soak"
+        summary = events[-1]["fields"]
+        assert summary["ok"] is False
+        assert summary["violations"] >= 1
+
+    def test_violations_counted_into_registry(self):
+        with obs.use_registry() as reg:
+            run_soak(
+                SoakConfig(docs=80, peers=4, crashes=1, rank_tolerance=0.0),
+                seed=0,
+            )
+            snap = reg.snapshot()
+        assert snap["recovery.soak_violations"]["value"] >= 1

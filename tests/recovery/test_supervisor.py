@@ -1,0 +1,101 @@
+"""Tests of the crash/restart supervisor state machine."""
+
+import pytest
+
+from repro.recovery import RecoveryConfig, Supervisor
+
+
+def make_supervisor(events=((2, 1, 3),), pass_time=1.0, **config):
+    return Supervisor(
+        4, events, pass_time=pass_time,
+        config=RecoveryConfig(**config) if config else None,
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryConfig(snapshot_interval=0)
+        with pytest.raises(ValueError):
+            RecoveryConfig(heartbeat_timeout_passes=0.0)
+
+    def test_unknown_peer_rejected(self):
+        with pytest.raises(ValueError):
+            make_supervisor(events=((1, 9, 2),))
+
+
+class TestCrashLifecycle:
+    def test_crash_fires_at_scheduled_time(self):
+        sup = make_supervisor()
+        assert sup.crashes_due(1.9) == []
+        assert sup.crashes_due(2.0) == [1]
+        assert sup.is_down(1)
+        assert sup.pending_crashes == 0
+
+    def test_overlapping_schedules_collapse(self):
+        sup = make_supervisor(events=((1, 0, 5), (2, 0, 5)))
+        assert sup.crashes_due(1.0) == [0]
+        # Second entry for the same down peer is absorbed.
+        assert sup.crashes_due(2.0) == []
+        assert sup.down_peers == (0,)
+
+    def test_restart_needs_suspicion_and_elapsed_spell(self):
+        sup = make_supervisor()  # crash at t=2, down 3 passes, timeout 2
+        sup.detector.heartbeat(1, 1.0)
+        sup.crashes_due(2.0)
+        sup.note_crash_applied(1)
+        # Spell over at t=5, but not yet suspected: no restart.
+        assert sup.observe(2.5) == []
+        assert sup.restarts_due(5.0) == []
+        # Silence since the last heartbeat (t=1) crosses the timeout.
+        assert sup.observe(5.0) == [1]
+        assert sup.restarts_due(4.9) == []
+        assert sup.restarts_due(5.0) == [1]
+        sup.mark_restarted(1, 5.0)
+        assert not sup.is_down(1)
+        assert sup.history == [(1, 2.0, 5.0)]
+        assert sup.idle
+
+    def test_suspicion_accrues_from_precrash_heartbeat(self):
+        sup = make_supervisor()
+        sup.detector.heartbeat(1, 1.9)
+        sup.crashes_due(2.0)
+        sup.note_crash_applied(1)
+        # The detector keeps the pre-crash heartbeat; suspicion fires
+        # at 1.9 + timeout, not immediately at the crash.
+        assert sup.observe(3.0) == []
+        assert sup.observe(3.9) == [1]
+
+    def test_mark_crashed_unscheduled(self):
+        sup = make_supervisor(events=())
+        sup.mark_crashed(2, 1.0, down_for=2.0)
+        assert sup.is_down(2)
+        sup.observe(3.0)
+        assert sup.restarts_due(3.0) == [2]
+
+
+class TestNextEvent:
+    def test_next_crash_time(self):
+        sup = make_supervisor(events=((3, 0, 2), (5, 1, 2)))
+        assert sup.next_event(0.0) == 3.0
+
+    def test_detection_deadline_then_up_time(self):
+        sup = make_supervisor()  # timeout = 2 passes
+        sup.detector.heartbeat(1, 1.5)
+        sup.crashes_due(2.0)
+        # Undetected: the scheduler must visit the suspicion deadline.
+        assert sup.next_event(2.0) == 3.5
+        sup.observe(3.5)
+        # Detected: next stop is restart eligibility (t = 2 + 3).
+        assert sup.next_event(3.5) == 5.0
+        sup.mark_restarted(1, 5.0)
+        assert sup.next_event(5.0) is None
+
+    def test_restarted_peer_heartbeats_fresh(self):
+        sup = make_supervisor()
+        sup.detector.heartbeat(1, 1.0)
+        sup.crashes_due(2.0)
+        sup.observe(10.0)
+        sup.mark_restarted(1, 10.0)
+        assert sup.detector.last_heartbeat(1) == 10.0
+        assert not sup.detector.suspect(1, 11.0)

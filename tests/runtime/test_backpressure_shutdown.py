@@ -1,0 +1,152 @@
+"""Bounded-mailbox backpressure and graceful-shutdown drain ordering."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.graphs import broder_graph, two_peer_example
+from repro.p2p import DocumentPlacement, P2PNetwork, PagerankUpdate, Peer
+from repro.p2p.messages import BatchAck, MessageBatch
+from repro.runtime import AsyncPeerRuntime, InMemoryTransport, VirtualClock
+from repro.runtime.mailbox import Mailbox, WorkTracker
+from repro.runtime.node import PeerNode
+from repro.runtime.transport import KIND_ACK, KIND_BATCH, Envelope
+
+
+def ack_envelope(fid: int) -> Envelope:
+    return Envelope(
+        kind=KIND_ACK, sender=1, receiver=0,
+        payload=BatchAck(flight_id=fid, sender_peer=1, receiver_peer=0),
+        flight_id=fid,
+    )
+
+
+class TestBoundedMailbox:
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Mailbox(0, capacity=0)
+
+    def test_put_refused_at_capacity(self):
+        tracker = WorkTracker()
+        box = Mailbox(0, tracker, capacity=2)
+        assert box.put(ack_envelope(0))
+        assert box.put(ack_envelope(1))
+        # Third envelope is refused: not queued, not tracked.
+        assert not box.put(ack_envelope(2))
+        assert len(box) == 2
+        assert tracker.outstanding == 2
+        assert box.overflow_dropped == 1
+
+    def test_drain_frees_capacity(self):
+        box = Mailbox(0, capacity=1)
+        assert box.put(ack_envelope(0))
+        assert not box.put(ack_envelope(1))
+        box.drain()
+        assert box.put(ack_envelope(2))
+
+    def test_unbounded_by_default(self):
+        box = Mailbox(0)
+        for fid in range(1000):
+            assert box.put(ack_envelope(fid))
+        assert box.overflow_dropped == 0
+
+
+class TestRuntimeBackpressure:
+    def test_overflow_is_recovered_by_retransmission(self):
+        # A tiny mailbox bound forces refusals mid-run; the flight
+        # tracker's retries redeliver, so the run still converges and
+        # the report surfaces the overflow count.
+        graph = broder_graph(150, seed=3)
+        placement = DocumentPlacement.random(150, 5, seed=4)
+        network = P2PNetwork(5, placement, build_ring=False)
+        runtime = AsyncPeerRuntime(
+            graph, network, epsilon=1e-4, seed=9, mailbox_capacity=6
+        )
+        report = asyncio.run(runtime.run())
+        assert report.converged
+        assert report.mailbox_overflow > 0
+
+    def test_unbounded_run_reports_zero_overflow(self):
+        graph = broder_graph(120, seed=3)
+        placement = DocumentPlacement.random(120, 4, seed=4)
+        network = P2PNetwork(4, placement, build_ring=False)
+        report = asyncio.run(
+            AsyncPeerRuntime(graph, network, epsilon=1e-4, seed=9).run()
+        )
+        assert report.converged
+        assert report.mailbox_overflow == 0
+
+
+def make_node():
+    """A standalone node over the six-document fixture (docs 0-2)."""
+    g = two_peer_example()
+    peer_of = np.array([0, 0, 0, 1, 1, 1])
+    clock = VirtualClock()
+    transport = InMemoryTransport(seed=1)
+    peer = Peer(0, [0, 1, 2], g)
+    mailbox = Mailbox(0, WorkTracker())
+    transport.connect(0, mailbox)
+    transport.connect(1, Mailbox(1, WorkTracker()))
+    node = PeerNode(
+        peer, mailbox, transport, clock,
+        damping=0.85, epsilon=1e-6, peer_of=peer_of,
+    )
+    return g, transport, node
+
+
+class TestShutdownDrainOrdering:
+    def test_final_drain_applies_but_sends_nothing(self):
+        _, transport, node = make_node()
+
+        async def body():
+            task = asyncio.create_task(node.run())
+            batch = MessageBatch(sender_peer=1, receiver_peer=0)
+            batch.add(
+                PagerankUpdate(target_doc=0, source_doc=3, value=0.7, version=1)
+            )
+            node.mailbox.put(
+                Envelope(
+                    kind=KIND_BATCH, sender=1, receiver=0,
+                    payload=batch, flight_id=7,
+                )
+            )
+            node.request_stop()
+            await task
+
+        asyncio.run(body())
+        # The queued batch folded into durable state...
+        assert node.peer.remote_values[3] == 0.7
+        # ...but the leaving node sent nothing and computed nothing.
+        assert node.acks_sent == 0
+        assert node.recomputes == 0
+        assert transport.pending == 0
+        assert node.mailbox.empty
+
+    def test_final_drain_clears_flights_via_pending_acks(self):
+        _, transport, node = make_node()
+
+        async def body():
+            task = asyncio.create_task(node.run())
+            flight = node.tracker.launch(
+                MessageBatch(sender_peer=0, receiver_peer=1), now=0.0
+            )
+            node.mailbox.put(ack_envelope(flight.flight_id))
+            node.request_stop()
+            await task
+
+        asyncio.run(body())
+        assert node.tracker.unacked_flights == 0
+
+    def test_stopped_node_leaves_tracker_balanced(self):
+        _, _, node = make_node()
+
+        async def body():
+            task = asyncio.create_task(node.run())
+            node.mailbox.put(ack_envelope(1))
+            node.mailbox.put(ack_envelope(2))
+            node.request_stop()
+            await task
+
+        asyncio.run(body())
+        assert node.mailbox.tracker.outstanding == 0

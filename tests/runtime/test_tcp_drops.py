@@ -1,0 +1,129 @@
+"""TCP transport connection-loss semantics: reconnect-once, drop events."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.runtime.mailbox import Mailbox
+from repro.runtime.tcp import TcpTransport
+
+
+async def started_transport(num_peers=2):
+    transport = TcpTransport()
+    boxes = [Mailbox(i) for i in range(num_peers)]
+    for i, box in enumerate(boxes):
+        transport.connect(i, box)
+    await transport.start()
+    return transport, boxes
+
+
+class TestReconnectOnce:
+    def test_lost_connection_redials_and_keeps_routing(self):
+        async def body():
+            transport, boxes = await started_transport()
+            try:
+                # Kill peer 0's client connection out from under it.
+                old_writer = transport._client_writers[0]
+                old_writer.close()
+                for _ in range(200):
+                    if transport.reconnects:
+                        break
+                    await asyncio.sleep(0.01)
+                assert transport.reconnects == 1
+                assert transport.drop_events == []
+                assert transport._client_writers[0] is not old_writer
+                # The redialled connection still reaches the switch:
+                # peer 1 can route a line to peer 0's mailbox.
+                line = (
+                    json.dumps({"receiver": 0, "probe": True}) + "\n"
+                ).encode()
+                transport._in_flight += 1
+                transport._switch_writers[1].write(line)
+                for _ in range(200):
+                    if transport._switch_writers.get(0) is not None:
+                        break
+                    await asyncio.sleep(0.01)
+            finally:
+                await transport.stop()
+
+        asyncio.run(body())
+
+    def test_second_loss_surfaces_drop_event(self):
+        async def body():
+            transport, _ = await started_transport()
+            drops = []
+            transport.set_on_peer_drop(lambda pid, reason: drops.append((pid, reason)))
+            try:
+                transport._client_writers[0].close()
+                for _ in range(200):
+                    if transport.reconnects:
+                        break
+                    await asyncio.sleep(0.01)
+                # Second loss: past the reconnect-once grace.
+                transport._client_writers[0].close()
+                for _ in range(200):
+                    if transport.drop_events:
+                        break
+                    await asyncio.sleep(0.01)
+                assert transport.drop_events == [
+                    (0, "connection lost after reconnect")
+                ]
+                assert drops == transport.drop_events
+            finally:
+                await transport.stop()
+
+        asyncio.run(body())
+
+    def test_failed_redial_surfaces_drop_event(self):
+        async def body():
+            transport, _ = await started_transport()
+            try:
+                # Close the switch server first: the redial has nowhere
+                # to go, so the loss is reported immediately.
+                server, transport._server = transport._server, None
+                server.close()
+                await server.wait_closed()
+                transport._client_writers[0].close()
+                transport._client_writers[1].close()
+                for _ in range(200):
+                    if len(transport.drop_events) == 2:
+                        break
+                    await asyncio.sleep(0.01)
+                assert sorted(transport.drop_events) == [
+                    (0, "reconnect failed"),
+                    (1, "reconnect failed"),
+                ]
+            finally:
+                transport._server = server
+                await transport.stop()
+
+        asyncio.run(body())
+
+    def test_clean_stop_records_no_drops(self):
+        async def body():
+            transport, _ = await started_transport()
+            await transport.stop()
+            assert transport.drop_events == []
+            assert transport.switch_disconnects == 0
+
+        asyncio.run(body())
+
+
+class TestSendRefusal:
+    def test_send_refused_while_writer_closing(self):
+        async def body():
+            transport, _ = await started_transport()
+            try:
+                from repro.p2p.messages import BatchAck
+
+                transport._client_writers[0].close()
+                transport.send_ack(
+                    BatchAck(flight_id=1, sender_peer=0, receiver_peer=1),
+                    now=0.0,
+                )
+                assert transport.sends_refused == 1
+            finally:
+                await transport.stop()
+
+        asyncio.run(body())

@@ -121,3 +121,38 @@ class TestRuntimeCommand:
         ])
         assert code == 2
         assert "no fault plan" in capsys.readouterr().out
+
+
+class TestSoakCommand:
+    def test_soak_defaults(self):
+        args = build_parser().parse_args(["soak"])
+        assert args.docs == 120
+        assert args.peers == 6
+        assert args.seeds == [0, 1, 2]
+        assert args.crashes == 2
+        assert args.drop == 0.05
+        assert args.partitions == 0
+        assert args.down_passes == 5
+        assert args.report is None
+
+    def test_soak_single_seed_run(self, capsys):
+        code = main([
+            "soak", "--docs", "80", "--peers", "4",
+            "--seeds", "0", "--crashes", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "restarts" in out
+
+    def test_soak_writes_incident_report(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "soak.jsonl"
+        code = main([
+            "soak", "--docs", "80", "--peers", "4",
+            "--seeds", "0", "--crashes", "1", "--report", str(path),
+        ])
+        assert code == 0
+        events = [json.loads(line) for line in path.open()]
+        assert events and events[-1]["name"] == "recovery.soak"
