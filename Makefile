@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck docs-check bench bench-smoke bench-full soak-smoke examples obs-demo clean
+.PHONY: install test lint typecheck docs-check bench bench-smoke bench-full soak-smoke sanitize-smoke examples obs-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -45,6 +45,16 @@ bench-full:
 # (docs/PROTOCOL.md §15).  The CI soak-smoke job runs the same line.
 soak-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro soak --docs 120 --peers 6 --seeds 0 1 2 --crashes 2 --drop 0.05
+
+# Concurrency-sanitizer smoke: the runtime differential suite under the
+# armed happens-before detector, then the packaged scenario with K=3
+# perturbed schedules (docs/STATIC_ANALYSIS.md "Dynamic sanitizer").
+# Realtime-mode tests are excluded by construction: the sanitizer only
+# arms the deterministic scheduler.  The CI sanitize-smoke job runs the
+# same two lines.
+sanitize-smoke:
+	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/differential -q
+	PYTHONPATH=src $(PYTHON) -m repro sanitize --docs 200 --peers 8 --schedules 3
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eleven commands cover the library's main entry points without writing
+Twelve commands cover the library's main entry points without writing
 any Python:
 
 ``pagerank``
@@ -47,6 +47,13 @@ any Python:
     protocol/doc lockstep, metric catalogue, API surface, float
     safety) — see docs/STATIC_ANALYSIS.md for the rule catalogue.
     Exit code 1 when findings survive suppressions and the baseline.
+``sanitize``
+    Run the dynamic concurrency sanitizer: a happens-before race
+    detector over the async runtime's tracked shared state plus a
+    seeded interleaving explorer that asserts bitwise-identical
+    durable state across perturbed schedules — see
+    docs/STATIC_ANALYSIS.md ("Dynamic sanitizer").  Exit code 1 when
+    races or schedule divergences are found.
 
 All commands accept ``--seed`` and print plain-text tables; exit code
 0 on success.
@@ -203,6 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.lint.cli import configure_parser as _configure_lint_parser
 
     _configure_lint_parser(lint)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run the dynamic concurrency sanitizer: happens-before "
+        "race detection + schedule-perturbation determinism check",
+    )
+    from repro.sanitize.cli import configure_parser as _configure_sanitize_parser
+
+    _configure_sanitize_parser(sanitize)
     return parser
 
 
@@ -594,6 +610,12 @@ def _cmd_lint(args) -> int:
     return run_lint(args)
 
 
+def _cmd_sanitize(args) -> int:
+    from repro.sanitize.cli import run as run_sanitize
+
+    return run_sanitize(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -609,6 +631,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "obs": _cmd_obs,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "sanitize": _cmd_sanitize,
     }
     return handlers[args.command](args)
 

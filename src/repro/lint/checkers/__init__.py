@@ -8,6 +8,7 @@ lockstep test enforces that), and a fixture test.
 """
 
 from repro.lint.checkers.api import ApiAllChecker, ApiDocChecker
+from repro.lint.checkers.concurrency import ConcurrencyChecker
 from repro.lint.checkers.determinism import DeterminismChecker
 from repro.lint.checkers.docs import ModuleDocChecker
 from repro.lint.checkers.floats import FloatSafetyChecker
@@ -17,6 +18,7 @@ from repro.lint.checkers.protocol import ProtocolChecker
 __all__ = [
     "ApiAllChecker",
     "ApiDocChecker",
+    "ConcurrencyChecker",
     "DeterminismChecker",
     "FloatSafetyChecker",
     "MetricsDocChecker",

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import deque
-from typing import Deque, List, Optional, TYPE_CHECKING
+from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.runtime.transport import Envelope
@@ -88,11 +88,11 @@ class Mailbox:
         self.tracker = tracker
         self.capacity = capacity
         self._queue: Deque["Envelope"] = deque()
-        self._on_put = None
+        self._on_put: Optional[Callable[[], None]] = None
         #: Envelopes refused because the mailbox was full.
         self.overflow_dropped = 0
 
-    def set_on_put(self, callback) -> None:
+    def set_on_put(self, callback: Callable[[], None]) -> None:
         """Install the wake-up callback (called on every ``put``)."""
         self._on_put = callback
 

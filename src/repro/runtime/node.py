@@ -74,6 +74,11 @@ class PeerNode:
         recompute) goes through the journal's log-then-apply wrappers
         so a supervised restart can replay the peer bitwise
         (docs/PROTOCOL.md §15).
+    sanitizer:
+        Optional :class:`~repro.sanitize.hb.RuntimeSanitizer`.  When
+        set, the node announces each wake-up (a vector-clock tick) and
+        merges the sender's stamp off every envelope it applies —
+        the happens-before edges the race detector builds on.
     """
 
     def __init__(
@@ -91,6 +96,7 @@ class PeerNode:
         pass_time: float = 1.0,
         instruments=None,
         journal=None,
+        sanitizer=None,
     ) -> None:
         self.peer = peer
         self.mailbox = mailbox
@@ -106,6 +112,8 @@ class PeerNode:
         )
         self._instruments = instruments
         self._journal = journal
+        self._san = sanitizer
+        self._task_name = f"peer{peer.peer_id}"
         self._signal = asyncio.Event()
         self._drained = asyncio.Event()
         self._stop = False
@@ -165,6 +173,8 @@ class PeerNode:
         while True:
             await self._signal.wait()
             self._signal.clear()
+            if self._san is not None:
+                self._san.begin_step(self._task_name)
             if self._stop:
                 self._final_drain()
                 self._drained.set()
@@ -195,6 +205,8 @@ class PeerNode:
             self._instruments.backlog.observe(len(envelopes))
         dirty: Set[int] = set()
         for envelope in envelopes:
+            if self._san is not None:
+                self._san.recv(envelope)
             if envelope.kind == KIND_BATCH:
                 batch = envelope.payload
                 if self._journal is not None:
@@ -285,6 +297,8 @@ class PeerNode:
         """
         envelopes = self.mailbox.drain()
         for envelope in envelopes:
+            if self._san is not None:
+                self._san.recv(envelope)
             if envelope.kind == KIND_BATCH:
                 if self._journal is not None:
                     self._journal.apply_batch(envelope.payload.updates)

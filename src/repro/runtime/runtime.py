@@ -246,6 +246,22 @@ class AsyncPeerRuntime:
     mailbox_capacity:
         Optional bound on every peer mailbox (overflow envelopes are
         refused and recovered by sender retransmission, §14).
+    sanitizer:
+        Optional :class:`~repro.sanitize.hb.RuntimeSanitizer` — the
+        happens-before race detector.  When ``None``, setting
+        ``REPRO_SANITIZE=1`` in the environment auto-creates one, and
+        the run *raises* :class:`~repro.sanitize.hb.SanitizeRaceError`
+        if it finds unordered conflicting accesses (the CI smoke
+        gate); an explicitly passed instance only journals, so tests
+        can inspect ``runtime.sanitizer.findings()``.  Observation
+        only — results stay byte-identical (docs/STATIC_ANALYSIS.md,
+        "Dynamic sanitizer").  Deterministic scheduler mode only.
+    tiebreak:
+        Optional bijective key over the default transport's submission
+        sequence (the interleaving explorer's schedule perturbation —
+        :func:`repro.sanitize.explorer.perturbation`).  Like
+        ``latency``/``faults``, it configures the default in-memory
+        transport only.
 
     A runtime instance is single-shot: construct a fresh one per run.
     """
@@ -269,6 +285,8 @@ class AsyncPeerRuntime:
         registry=None,
         recovery=None,
         mailbox_capacity: Optional[int] = None,
+        sanitizer=None,
+        tiebreak=None,
     ) -> None:
         check_threshold("damping", damping)
         check_threshold("epsilon", epsilon)
@@ -281,11 +299,15 @@ class AsyncPeerRuntime:
         if gate not in ("published", "rank"):
             raise ValueError(f"gate must be 'published' or 'rank', got {gate!r}")
         if transport is not None and (
-            latency is not None or faults is not None or availability is not None
+            latency is not None
+            or faults is not None
+            or availability is not None
+            or tiebreak is not None
         ):
             raise ValueError(
-                "latency/faults/availability configure the default in-memory "
-                "transport; attach them to your explicit transport instead"
+                "latency/faults/availability/tiebreak configure the default "
+                "in-memory transport; attach them to your explicit "
+                "transport instead"
             )
         if availability is not None and availability.num_peers != network.num_peers:
             raise ValueError("availability schedule peer count mismatch")
@@ -305,8 +327,21 @@ class AsyncPeerRuntime:
                 availability=availability,
                 pass_time=pass_time,
                 seed=as_generator(seed),
+                tiebreak=tiebreak,
             )
         self.transport = transport
+        # Opt-in happens-before race detection (zero-cost when off).
+        self._san_owned = False
+        if sanitizer is None and os.environ.get("REPRO_SANITIZE") == "1":
+            # Imported here: repro.sanitize imports repro.lint, which
+            # this module must not depend on unconditionally.
+            from repro.sanitize.hb import RuntimeSanitizer
+
+            sanitizer = RuntimeSanitizer(registry=registry)
+            self._san_owned = True
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            self.transport.sanitizer = sanitizer
         self._clock = VirtualClock()
         self._tracker = WorkTracker()
         self._obs = _RuntimeInstruments(
@@ -337,6 +372,9 @@ class AsyncPeerRuntime:
         self.nodes: List[PeerNode] = []
         for pid in range(network.num_peers):
             peer = Peer(pid, docs_by_peer[pid], graph, init_rank=self.init_rank)
+            if sanitizer is not None:
+                sanitizer.register_task(f"peer{pid}")
+                sanitizer.wrap_peer(peer)
             mailbox = Mailbox(pid, self._tracker, capacity=mailbox_capacity)
             transport.connect(pid, mailbox)
             journal = None
@@ -371,6 +409,7 @@ class AsyncPeerRuntime:
                     pass_time=pass_time,
                     instruments=self._obs,
                     journal=journal,
+                    sanitizer=sanitizer,
                 )
             )
         self._ran = False
@@ -410,12 +449,15 @@ class AsyncPeerRuntime:
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
         sup = self._supervisor
+        san = self.sanitizer
         for node in self.nodes:
             node.task = asyncio.create_task(node.run())
         # Startup round: the Fig. 1 concurrent initial pass, ordered by
         # peer id so first-send sequence numbers are reproducible.
         for node in self.nodes:
             await node.step()
+        if san is not None:
+            san.round_barrier()
         if sup is not None:
             for node in self.nodes:
                 sup.detector.heartbeat(node.peer.peer_id, self._clock.now())
@@ -432,6 +474,12 @@ class AsyncPeerRuntime:
                     continue
                 if not node.mailbox.empty or node.timer_due(now):
                     await node.step()
+            if san is not None:
+                # The end-of-steps join: everything this round's steps
+                # did happens-before the supervisor phase, the round
+                # hook, and every following round.  Same-round steps
+                # stay mutually concurrent — that is the race surface.
+                san.round_barrier()
             if sup is not None:
                 for node in self.nodes:
                     if not sup.is_down(node.peer.peer_id):
@@ -456,6 +504,15 @@ class AsyncPeerRuntime:
                 break
             self._clock.advance_to(t_next)
         await self.shutdown()
+        if san is not None:
+            findings = san.finalize()
+            if findings and self._san_owned:
+                # Env-var mode is the CI gate: fail loudly.  An
+                # explicitly passed sanitizer only journals, so tests
+                # can inspect runtime.sanitizer.findings().
+                from repro.sanitize.hb import SanitizeRaceError
+
+                raise SanitizeRaceError(findings)
         return self._report(quiesced=quiesced, rounds=rounds)
 
     # ------------------------------------------------------------------
@@ -497,6 +554,10 @@ class AsyncPeerRuntime:
         journal.rebind(peer)
         # Compact so the next replay starts from the restored state.
         journal.compact()
+        if self.sanitizer is not None:
+            # The replayed peer carries fresh plain dicts; re-wrap them
+            # (its task keeps its clock, so pre-crash edges survive).
+            self.sanitizer.wrap_peer(peer)
         mailbox = Mailbox(pid, self._tracker, capacity=self.mailbox_capacity)
         mailbox.overflow_dropped = old.mailbox.overflow_dropped
         self.transport.connect(pid, mailbox)
@@ -513,6 +574,7 @@ class AsyncPeerRuntime:
             pass_time=self.pass_time,
             instruments=self._obs,
             journal=journal,
+            sanitizer=self.sanitizer,
         )
         # The crashed node's counters and abandonment ledger carry over
         # (its flight table was wiped at the crash, so reuse is clean).
@@ -577,6 +639,11 @@ class AsyncPeerRuntime:
                 "recovery supervision requires deterministic mode; "
                 "free-running restarts are not reproducible"
             )
+        if self.sanitizer is not None:
+            raise RuntimeError(
+                "the happens-before sanitizer requires deterministic "
+                "mode; free-running interleavings have no round barrier"
+            )
         check_positive("quiet_window", quiet_window)
         check_positive("timeout", timeout)
         check_positive("tick", tick)
@@ -639,6 +706,10 @@ class AsyncPeerRuntime:
         tasks = [node.task for node in self.nodes if node.task is not None]
         if tasks:
             await asyncio.gather(*tasks)
+        if self.sanitizer is not None:
+            # Join barrier: the final drains happen-before the
+            # coordinator's report reads (staleness probe, rank gather).
+            self.sanitizer.round_barrier()
         await self.transport.stop()
 
     def staleness_probe(self) -> float:

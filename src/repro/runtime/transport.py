@@ -148,6 +148,12 @@ class InMemoryTransport(Transport):
         partition spells onto the runtime's clock.
     seed:
         Seed for latency sampling.
+    tiebreak:
+        Optional bijective key over the submission sequence number,
+        controlling the delivery order of envelopes due at the *same*
+        virtual time (the interleaving explorer's perturbation hook —
+        see :func:`repro.sanitize.explorer.perturbation`).  ``None``
+        keeps plain submission order.
     """
 
     def __init__(
@@ -158,6 +164,7 @@ class InMemoryTransport(Transport):
         availability: Optional[OnOffSchedule] = None,
         pass_time: float = 1.0,
         seed: SeedLike = None,
+        tiebreak: Optional[Callable[[int], int]] = None,
     ) -> None:
         if pass_time <= 0:
             raise ValueError(f"pass_time must be > 0, got {pass_time}")
@@ -166,9 +173,17 @@ class InMemoryTransport(Transport):
         self.availability = availability
         self.pass_time = float(pass_time)
         self._rng = as_generator(seed)
+        self._tiebreak = tiebreak
+        #: Optional :class:`repro.sanitize.hb.RuntimeSanitizer` — when
+        #: set, every scheduled envelope is stamped with the sender's
+        #: vector clock (happens-before message edges).
+        self.sanitizer = None
         self._mailboxes: Dict[int, object] = {}
-        # (deliver_time, sequence, envelope) — the total delivery order.
-        self._heap: List[Tuple[float, int, Envelope]] = []
+        # (deliver_time, tiebreak key, sequence, envelope) — the total
+        # delivery order.  The key equals the sequence unless a
+        # perturbation is installed; both are unique, so envelopes are
+        # never compared.
+        self._heap: List[Tuple[float, int, int, Envelope]] = []
         self._seq = 0
         # Crashed peers (supervisor-managed): deliveries to them are
         # parked here until the peer restarts (docs/PROTOCOL.md §15.4).
@@ -223,7 +238,10 @@ class InMemoryTransport(Transport):
         return int(now / self.pass_time)
 
     def _schedule(self, when: float, envelope: Envelope) -> None:
-        heapq.heappush(self._heap, (when, self._seq, envelope))
+        key = self._seq if self._tiebreak is None else self._tiebreak(self._seq)
+        if self.sanitizer is not None:
+            self.sanitizer.stamp(envelope)
+        heapq.heappush(self._heap, (when, key, self._seq, envelope))
         self._seq += 1
 
     def _draw_latency(self, sender: int, receiver: int) -> float:
@@ -303,7 +321,7 @@ class InMemoryTransport(Transport):
         """
         delivered = 0
         while self._heap and self._heap[0][0] <= now:
-            when, _, envelope = heapq.heappop(self._heap)
+            when, _, _, envelope = heapq.heappop(self._heap)
             if envelope.receiver in self._down:
                 self.parked_deliveries += 1
                 self._parked_down.setdefault(envelope.receiver, []).append(

@@ -1,0 +1,54 @@
+"""Dynamic concurrency sanitizer for the async peer runtime.
+
+Two checks, both opt-in and zero-cost when off (docs/STATIC_ANALYSIS.md
+"Dynamic sanitizer"):
+
+- :mod:`repro.sanitize.hb` — a happens-before race detector.  Per-task
+  vector clocks, ticked at every mailbox wake-up, merged along message
+  delivery and the deterministic scheduler's round barriers; tracked
+  peer dicts journal (task, object, field, read/write) accesses, and
+  unordered conflicting pairs become ``SAN001`` findings.
+- :mod:`repro.sanitize.explorer` — a seeded interleaving explorer that
+  perturbs the transport's same-time tie-breaking across K schedules
+  and asserts bitwise-identical durable state; a divergence becomes a
+  ``SAN002`` finding.
+
+Both report through :mod:`repro.lint.findings` (the same versioned
+JSON document the static checkers emit) and the ``sanitizer.*`` metric
+family (docs/OBSERVABILITY.md §11).  Set ``REPRO_SANITIZE=1`` to arm
+the race detector inside any deterministic
+:class:`~repro.runtime.runtime.AsyncPeerRuntime` run, or use the
+``repro sanitize`` CLI for the packaged scenario.
+"""
+
+from __future__ import annotations
+
+from repro.sanitize.explorer import (
+    ExplorationReport,
+    durable_digest,
+    explore_schedules,
+    perturbation,
+)
+from repro.sanitize.hb import (
+    SAN001,
+    SAN002,
+    Access,
+    RuntimeSanitizer,
+    SanitizeRaceError,
+    TrackedDict,
+    VectorClock,
+)
+
+__all__ = [
+    "SAN001",
+    "SAN002",
+    "Access",
+    "ExplorationReport",
+    "RuntimeSanitizer",
+    "SanitizeRaceError",
+    "TrackedDict",
+    "VectorClock",
+    "durable_digest",
+    "explore_schedules",
+    "perturbation",
+]

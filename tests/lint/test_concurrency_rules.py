@@ -1,0 +1,214 @@
+"""CNC rule unit tests: known-bad async snippets produce the expected
+findings, the known-good variants produce none, and the shipped racy
+fixture (tests/sanitize/fixture_racy.py) is flagged by CNC001."""
+
+import textwrap
+from pathlib import Path
+
+from repro.lint import FileContext
+from repro.lint.checkers.concurrency import ConcurrencyChecker
+
+FIXTURE = Path(__file__).resolve().parents[1] / "sanitize" / "fixture_racy.py"
+
+
+def check(source, module="repro.runtime.fixture"):
+    ctx = FileContext.from_source(
+        Path("fixture.py"), textwrap.dedent(source), module=module
+    )
+    return list(ConcurrencyChecker().check_file(ctx))
+
+
+def rule_ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestStaleWriteAcrossAwait:
+    def test_cached_read_written_after_await(self):
+        src = """
+        class Node:
+            async def run(self):
+                cached = self.peer.published.get(0, 1.0)
+                await self.signal.wait()
+                self.peer.published[0] = cached
+        """
+        found = check(src)
+        assert rule_ids(found) == ["CNC001"]
+        assert "self.peer.published" in found[0].message
+
+    def test_direct_self_reference_across_await(self):
+        src = """
+        class Node:
+            async def run(self):
+                self.total = self.total + await self.fetch()
+        """
+        assert rule_ids(check(src)) == ["CNC001"]
+
+    def test_reread_after_await_is_clean(self):
+        src = """
+        class Node:
+            async def run(self):
+                cached = self.peer.published.get(0, 1.0)
+                await self.signal.wait()
+                cached = self.peer.published.get(0, 1.0)
+                self.peer.published[0] = cached
+        """
+        assert rule_ids(check(src)) == []
+
+    def test_constant_store_after_await_is_clean(self):
+        # Check-then-act on a flag: the stored value carries no
+        # pre-await read, so there is nothing to go stale.
+        src = """
+        class Node:
+            async def start(self):
+                if self._started:
+                    return
+                await self.open()
+                self._started = True
+        """
+        assert rule_ids(check(src)) == []
+
+    def test_augassign_is_self_revalidating(self):
+        # `+=` reads the target immediately before the store — the
+        # read-modify-write has no yield point of its own.
+        src = """
+        class Node:
+            async def run(self):
+                await self.signal.wait()
+                self.count += 1
+        """
+        assert rule_ids(check(src)) == []
+
+    def test_noqa_suppresses(self):
+        src = """
+        class Node:
+            async def run(self):
+                cached = self.peer.published.get(0, 1.0)
+                await self.signal.wait()
+                self.peer.published[0] = cached  # repro: noqa[CNC001] test
+        """
+        ctx = FileContext.from_source(
+            Path("fixture.py"), textwrap.dedent(src), module="repro.runtime.f"
+        )
+        findings = [
+            f for f in ConcurrencyChecker().check_file(ctx)
+            if not ctx.is_suppressed(f.line, f.rule)
+        ]
+        assert findings == []
+
+
+class TestBlockingCallInAsync:
+    def test_time_sleep(self):
+        src = """
+        import time
+        async def pause():
+            time.sleep(1.0)
+        """
+        found = check(src)
+        assert rule_ids(found) == ["CNC002"]
+        assert "time.sleep" in found[0].message
+
+    def test_queue_constructor(self):
+        src = """
+        import queue
+        async def build():
+            q = queue.Queue()
+        """
+        assert rule_ids(check(src)) == ["CNC002"]
+
+    def test_async_equivalents_clean(self):
+        src = """
+        import asyncio
+        async def pause():
+            await asyncio.sleep(1.0)
+            q = asyncio.Queue()
+        """
+        assert rule_ids(check(src)) == []
+
+    def test_sync_function_not_flagged(self):
+        src = """
+        import time
+        def pause():
+            time.sleep(1.0)
+        """
+        assert rule_ids(check(src)) == []
+
+
+class TestUnawaitedCoroutine:
+    def test_bare_local_coroutine_call(self):
+        src = """
+        async def worker():
+            pass
+        async def main():
+            worker()
+        """
+        found = check(src)
+        assert rule_ids(found) == ["CNC003"]
+        assert "worker" in found[0].message
+
+    def test_awaited_and_tasked_clean(self):
+        src = """
+        import asyncio
+        async def worker():
+            pass
+        async def main():
+            await worker()
+            asyncio.create_task(worker())
+        """
+        assert rule_ids(check(src)) == []
+
+
+class TestCrossTaskAliasing:
+    def test_same_peer_in_two_tasks(self):
+        src = """
+        import asyncio
+        async def main(peer):
+            asyncio.create_task(drain(peer))
+            asyncio.create_task(publish(peer))
+        """
+        found = check(src)
+        assert rule_ids(found) == ["CNC004"]
+        assert "peer" in found[0].message
+
+    def test_distinct_objects_clean(self):
+        src = """
+        import asyncio
+        async def main(peer_a, peer_b):
+            asyncio.create_task(drain(peer_a))
+            asyncio.create_task(drain(peer_b))
+        """
+        assert rule_ids(check(src)) == []
+
+
+class TestPrimitiveOutsideLoop:
+    def test_module_scope_event(self):
+        src = """
+        import asyncio
+        READY = asyncio.Event()
+        """
+        found = check(src)
+        assert rule_ids(found) == ["CNC005"]
+        assert "asyncio.Event" in found[0].message
+
+    def test_constructor_scope_clean(self):
+        src = """
+        import asyncio
+        class Node:
+            def __init__(self):
+                self.ready = asyncio.Event()
+        """
+        assert rule_ids(check(src)) == []
+
+
+class TestSeededRacyFixture:
+    def test_fixture_is_flagged_by_cnc001(self):
+        ctx = FileContext.from_source(
+            FIXTURE,
+            FIXTURE.read_text(encoding="utf-8"),
+            module="tests.sanitize.fixture_racy",
+        )
+        found = [
+            f for f in ConcurrencyChecker().check_file(ctx)
+            if f.rule == "CNC001"
+        ]
+        assert found, "the seeded race must be caught statically"
+        assert "self.victim.published" in found[0].message

@@ -1,4 +1,5 @@
-"""Finding data shapes: JSON round trip, schema guard, sort order."""
+"""Finding data shapes: JSON round trip, schema guard, sort order,
+and byte-for-byte output stability across repeated runs."""
 
 import json
 
@@ -10,6 +11,7 @@ from repro.lint import (
     Severity,
     findings_from_json,
     findings_to_json,
+    lint_paths,
     sort_findings,
 )
 
@@ -59,3 +61,40 @@ class TestSortOrder:
 
     def test_location_helper(self):
         assert make(path="src/x.py", line=12).location() == "src/x.py:12"
+
+
+class TestByteStability:
+    """The findings document is a regression artifact: two runs over
+    the same inputs must serialise to the same bytes, so CI can diff
+    reports and the baseline machinery can trust exact matches."""
+
+    SOURCE = (
+        "import random\n"
+        "import time\n"
+        "random.random()\n"
+        "time.sleep(1)\n"
+        "x = random.random()\n"
+    )
+
+    def test_repeated_lint_runs_serialise_identically(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "core" / "mod.py"
+        path.parent.mkdir(parents=True)
+        path.write_text(self.SOURCE, encoding="utf-8")
+        docs = [
+            findings_to_json(
+                lint_paths(tmp_path, [path], include_project=False).findings
+            )
+            for _ in range(2)
+        ]
+        assert docs[0] == docs[1]
+        assert json.loads(docs[0])["summary"]["total"] > 0
+
+    def test_serialisation_is_input_order_independent(self):
+        findings = [
+            make(path="b.py", line=3),
+            make(path="a.py", line=7, rule="FLT001"),
+            make(path="a.py", line=7, rule="DET003"),
+        ]
+        assert findings_to_json(findings) == findings_to_json(
+            list(reversed(findings))
+        )

@@ -1,0 +1,134 @@
+"""Pins for the deterministic scheduler's time semantics: the
+``(deliver_time, sequence)`` delivery order, the tie-break permutation
+hook, and the virtual clock's forward-only advance rule."""
+
+import pytest
+
+from repro.p2p.messages import BatchAck, MessageBatch, PagerankUpdate
+from repro.runtime.clock import VirtualClock
+from repro.runtime.mailbox import Mailbox
+from repro.runtime.transport import InMemoryTransport
+
+
+def make_batch(sender, receiver, doc=0):
+    return MessageBatch(
+        sender_peer=sender,
+        receiver_peer=receiver,
+        updates=[
+            PagerankUpdate(
+                target_doc=doc, source_doc=doc, value=1.0, version=1
+            )
+        ],
+    )
+
+
+def make_transport(tiebreak=None, peers=2):
+    transport = InMemoryTransport(seed=0, tiebreak=tiebreak)
+    mailboxes = [Mailbox(pid) for pid in range(peers)]
+    for pid, mailbox in enumerate(mailboxes):
+        transport.connect(pid, mailbox)
+    return transport, mailboxes
+
+
+def drain_docs(mailbox):
+    return [e.payload.updates[0].target_doc for e in mailbox.drain()]
+
+
+class TestDeliveryOrder:
+    def test_same_time_envelopes_deliver_in_submission_order(self):
+        transport, mailboxes = make_transport()
+        for doc in range(5):
+            transport.send_batch(
+                make_batch(0, 1, doc=doc), flight_id=doc, attempt=1, now=0.0
+            )
+        transport.deliver_due(1.0)
+        assert drain_docs(mailboxes[1]) == [0, 1, 2, 3, 4]
+
+    def test_earlier_deliver_time_beats_earlier_submission(self):
+        transport, mailboxes = make_transport()
+        # Submitted first but due at t=2; the later submission is due
+        # at t=1 and must come out first.
+        transport.send_batch(make_batch(0, 1, doc=0), flight_id=0,
+                             attempt=1, now=1.0)
+        transport.send_batch(make_batch(0, 1, doc=1), flight_id=1,
+                             attempt=1, now=0.0)
+        transport.deliver_due(2.0)
+        assert drain_docs(mailboxes[1]) == [1, 0]
+
+    def test_deliver_due_respects_now(self):
+        transport, mailboxes = make_transport()
+        transport.send_batch(make_batch(0, 1, doc=0), flight_id=0,
+                             attempt=1, now=0.0)
+        transport.send_batch(make_batch(0, 1, doc=1), flight_id=1,
+                             attempt=1, now=5.0)
+        assert transport.deliver_due(1.0) == 1
+        assert drain_docs(mailboxes[1]) == [0]
+        assert transport.next_due() == pytest.approx(6.0)
+
+    def test_acks_share_the_same_total_order(self):
+        transport, mailboxes = make_transport()
+        transport.send_ack(
+            BatchAck(flight_id=7, sender_peer=0, receiver_peer=1), now=0.0
+        )
+        transport.send_batch(make_batch(0, 1, doc=3), flight_id=8,
+                             attempt=1, now=0.0)
+        transport.deliver_due(1.0)
+        kinds = [e.kind for e in mailboxes[1].drain()]
+        assert kinds == ["ack", "batch"]
+
+
+class TestTiebreakHook:
+    def test_tiebreak_permutes_same_time_deliveries_only(self):
+        reverse = lambda seq: -seq  # noqa: E731 - tiny test permutation
+        transport, mailboxes = make_transport(tiebreak=reverse)
+        for doc in range(3):
+            transport.send_batch(
+                make_batch(0, 1, doc=doc), flight_id=doc, attempt=1, now=0.0
+            )
+        # A later deliver-time envelope stays behind the same-time group.
+        transport.send_batch(make_batch(0, 1, doc=9), flight_id=9,
+                             attempt=1, now=1.0)
+        transport.deliver_due(5.0)
+        assert drain_docs(mailboxes[1]) == [2, 1, 0, 9]
+
+    def test_none_tiebreak_matches_identity(self):
+        plain, plain_boxes = make_transport(tiebreak=None)
+        keyed, keyed_boxes = make_transport(tiebreak=lambda seq: seq)
+        for transport in (plain, keyed):
+            for doc in range(4):
+                transport.send_batch(
+                    make_batch(0, 1, doc=doc), flight_id=doc,
+                    attempt=1, now=0.0,
+                )
+            transport.deliver_due(2.0)
+        assert drain_docs(plain_boxes[1]) == drain_docs(keyed_boxes[1])
+
+
+class TestVirtualClockAdvance:
+    def test_starts_at_origin_and_advances(self):
+        clock = VirtualClock()
+        assert clock.now() == pytest.approx(0.0)
+        clock.advance_to(3.5)
+        assert clock.now() == pytest.approx(3.5)
+
+    def test_advance_to_current_time_is_a_no_op(self):
+        clock = VirtualClock(start=2.0)
+        clock.advance_to(2.0)
+        assert clock.now() == pytest.approx(2.0)
+
+    def test_backward_advance_raises(self):
+        clock = VirtualClock(start=5.0)
+        with pytest.raises(ValueError, match="backward"):
+            clock.advance_to(4.999)
+
+    def test_advance_to_next_transport_event(self):
+        # The scheduler's round rule: advance exactly to the earliest
+        # scheduled event, never past it, never before it.
+        clock = VirtualClock()
+        transport, _ = make_transport()
+        transport.send_batch(make_batch(0, 1), flight_id=0, attempt=1,
+                             now=clock.now())
+        due = transport.next_due()
+        clock.advance_to(due)
+        assert clock.now() == pytest.approx(due)
+        assert transport.deliver_due(clock.now()) == 1

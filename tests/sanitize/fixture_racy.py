@@ -1,0 +1,49 @@
+"""Test-only racy peer node: the sanitizer's seeded injected bug.
+
+:class:`RacyPeerNode` caches a co-resident victim peer's published
+rank *before* suspending on its wake-up signal and writes the cached
+value back *after* resuming — the canonical stale-write-across-await
+bug.  The static rule ``CNC001`` flags the source (the tests lint this
+file explicitly; it is not part of the shipped ``src`` tree) and the
+dynamic happens-before detector flags the execution: the cross-task
+write to the victim's tracked dict is unordered with the victim's own
+same-round accesses (``SAN001``).
+"""
+
+from __future__ import annotations
+
+from repro.p2p.peer import Peer
+from repro.runtime.node import PeerNode
+
+
+class RacyPeerNode(PeerNode):
+    """A peer task that mutates another peer's published ranks across
+    its own suspension point, without re-validation after resuming."""
+
+    def __init__(self, *args, victim: Peer, doc: int, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.victim = victim
+        self.doc = int(doc)
+
+    async def run(self) -> None:
+        while True:
+            # BUG (seeded on purpose): read the victim's rank, suspend,
+            # then write the possibly-stale value back after arbitrarily
+            # many other peer steps have interleaved.
+            cached = self.victim.published.get(self.doc, 0.15)
+            await self._signal.wait()
+            self._signal.clear()
+            if self._san is not None:
+                self._san.begin_step(self._task_name)
+            self.victim.published[self.doc] = cached
+            if self._stop:
+                self._final_drain()
+                self._drained.set()
+                return
+            now = float(self.clock.now())
+            if not self._started:
+                self._started = True
+                self._initial_pass(now)
+            self._drain(now)
+            self._service_timers(now)
+            self._drained.set()

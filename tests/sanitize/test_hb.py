@@ -1,0 +1,187 @@
+"""Unit tests for the happens-before machinery: vector clocks,
+tracked dicts, epoch coalescing, and race-pair reporting."""
+
+from repro.obs import MetricsRegistry
+from repro.sanitize.hb import (
+    READ,
+    WRITE,
+    RuntimeSanitizer,
+    SanitizeRaceError,
+    TrackedDict,
+    VectorClock,
+)
+
+
+def make_sanitizer():
+    return RuntimeSanitizer(registry=MetricsRegistry())
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        c = VectorClock()
+        assert c.get("a") == 0
+        c.tick("a")
+        c.tick("a")
+        assert c.get("a") == 2
+
+    def test_merge_takes_componentwise_max(self):
+        a = VectorClock({"x": 3, "y": 1})
+        b = VectorClock({"y": 5, "z": 2})
+        a.merge(b)
+        assert (a.get("x"), a.get("y"), a.get("z")) == (3, 5, 2)
+
+    def test_leq_is_componentwise(self):
+        lo = VectorClock({"x": 1})
+        hi = VectorClock({"x": 2, "y": 1})
+        assert lo.leq(hi)
+        assert not hi.leq(lo)
+
+    def test_concurrent_detection(self):
+        a = VectorClock({"x": 2, "y": 1})
+        b = VectorClock({"x": 1, "y": 2})
+        assert a.concurrent(b)
+        assert b.concurrent(a)
+        assert not a.concurrent(a.snapshot())
+
+    def test_snapshot_is_independent(self):
+        a = VectorClock({"x": 1})
+        snap = a.snapshot()
+        a.tick("x")
+        assert snap.get("x") == 1
+
+
+class TestTrackedDict:
+    def test_dict_semantics_preserved(self):
+        d = TrackedDict({"a": 1.0})
+        d["b"] = 2.0
+        assert d == {"a": 1.0, "b": 2.0}
+        assert dict(d) == {"a": 1.0, "b": 2.0}
+        assert sorted(d) == ["a", "b"]
+        assert d.get("missing", 9) == 9
+        assert d.pop("b") == 2.0
+
+    def test_unbound_dict_records_nothing(self):
+        d = TrackedDict()
+        d["k"] = 1  # no sanitizer attached — must not raise
+        assert d["k"] == 1
+
+    def test_reads_and_writes_journal(self):
+        san = make_sanitizer()
+        san.register_task("t")
+        san.begin_step("t")
+        d = TrackedDict()
+        d._bind(san, "peer0", "rank")
+        d["doc"] = 1.0
+        _ = d.get("doc")
+        kinds = {(a.kind) for a in san._journal}
+        assert kinds == {READ, WRITE}
+
+    def test_epoch_coalescing(self):
+        san = make_sanitizer()
+        san.register_task("t")
+        san.begin_step("t")
+        d = TrackedDict()
+        d._bind(san, "peer0", "rank")
+        for i in range(100):
+            d[i] = float(i)
+        assert san.journal_length == 1
+        san.begin_step("t")  # new epoch: next write journals again
+        d[0] = 0.0
+        assert san.journal_length == 2
+
+
+class TestRaceDetection:
+    def test_same_round_cross_task_write_races(self):
+        san = make_sanitizer()
+        for t in ("peer0", "peer1"):
+            san.register_task(t)
+        san.begin_step("peer0")
+        san.record("peer0", "published", WRITE)
+        san.begin_step("peer1")
+        san.record("peer0", "published", WRITE)
+        findings = san.races()
+        assert len(findings) == 1
+        assert findings[0].rule == "SAN001"
+        assert findings[0].path == "runtime://peer0/published"
+
+    def test_read_read_pairs_never_race(self):
+        san = make_sanitizer()
+        for t in ("peer0", "peer1"):
+            san.register_task(t)
+        san.begin_step("peer0")
+        san.record("peer0", "published", READ)
+        san.begin_step("peer1")
+        san.record("peer0", "published", READ)
+        assert san.races() == []
+
+    def test_barrier_orders_across_rounds(self):
+        san = make_sanitizer()
+        for t in ("peer0", "peer1"):
+            san.register_task(t)
+        san.begin_step("peer0")
+        san.record("peer0", "published", WRITE)
+        san.round_barrier()
+        san.begin_step("peer1")
+        san.record("peer0", "published", WRITE)
+        assert san.races() == []
+
+    def test_message_edge_orders_sender_before_receiver(self):
+        san = make_sanitizer()
+        for t in ("peer0", "peer1"):
+            san.register_task(t)
+        envelope = object()
+        san.begin_step("peer0")
+        san.record("peer0", "published", WRITE)
+        san.stamp(envelope)
+        san.begin_step("peer1")
+        san.recv(envelope)
+        san.record("peer0", "published", WRITE)
+        assert san.races() == []
+
+    def test_duplicate_pairs_coalesce_into_one_finding(self):
+        san = make_sanitizer()
+        for t in ("peer0", "peer1"):
+            san.register_task(t)
+        for _ in range(3):
+            san.begin_step("peer0")
+            san.record("peer0", "published", WRITE)
+            san.begin_step("peer1")
+            san.record("peer0", "published", WRITE)
+        assert len(san.races()) == 1
+
+    def test_coordinator_accesses_never_race_with_merged_work(self):
+        # The coordinator's clock after a barrier dominates every
+        # pre-barrier access, mirroring the sequential scheduler.
+        san = make_sanitizer()
+        san.register_task("peer0")
+        san.begin_step("peer0")
+        san.record("peer0", "rank", WRITE)
+        san.round_barrier()
+        san.record("peer0", "rank", READ)  # coordinator probe
+        assert san.races() == []
+
+
+class TestFinalize:
+    def test_finalize_emits_metrics_once(self):
+        reg = MetricsRegistry()
+        san = RuntimeSanitizer(registry=reg)
+        san.register_task("t")
+        san.begin_step("t")
+        san.record("peer0", "rank", WRITE)
+        san.finalize()
+        san.finalize()
+        snap = reg.snapshot()
+        assert snap["sanitizer.accesses"]["value"] == 1
+        assert snap["sanitizer.races"]["value"] == 0
+
+    def test_error_message_lists_locations(self):
+        san = make_sanitizer()
+        for t in ("peer0", "peer1"):
+            san.register_task(t)
+        san.begin_step("peer0")
+        san.record("peer0", "published", WRITE)
+        san.begin_step("peer1")
+        san.record("peer0", "published", WRITE)
+        err = SanitizeRaceError(san.races())
+        assert "runtime://peer0/published" in str(err)
+        assert err.findings

@@ -1,0 +1,149 @@
+"""Runtime-integration tests for the happens-before race detector.
+
+The acceptance contract: a clean deterministic run journals thousands
+of accesses and reports zero races while staying byte-identical to an
+unsanitized run; the seeded racy fixture is flagged; and
+``REPRO_SANITIZE=1`` arms the runtime from the environment, raising
+``SanitizeRaceError`` only when races exist.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+from fixture_racy import RacyPeerNode
+
+from repro.graphs import broder_graph
+from repro.lint.findings import findings_to_json
+from repro.obs import MetricsRegistry
+from repro.p2p import DocumentPlacement, P2PNetwork
+from repro.recovery import RecoveryConfig
+from repro.recovery.soak import SoakConfig, build_soak_plan
+from repro.runtime import AsyncPeerRuntime
+from repro.sanitize.hb import RuntimeSanitizer, SanitizeRaceError
+
+
+def build_runtime(sanitizer=None, docs=80, peers=4, **kwargs):
+    graph = broder_graph(docs, seed=0)
+    placement = DocumentPlacement.random(docs, peers, seed=1)
+    network = P2PNetwork(peers, placement, build_ring=False)
+    if sanitizer is not None:
+        kwargs["sanitizer"] = sanitizer
+    return AsyncPeerRuntime(graph, network, epsilon=1e-3, seed=4, **kwargs)
+
+
+def inject_racy_node(runtime, sanitizer):
+    """Replace node 1 with the seeded-bug subclass targeting node 0."""
+    old = runtime.nodes[1]
+    victim = runtime.nodes[0].peer
+    racy = RacyPeerNode(
+        old.peer,
+        old.mailbox,
+        old.transport,
+        old.clock,
+        damping=runtime.damping,
+        epsilon=runtime.epsilon,
+        peer_of=old.peer_of,
+        sanitizer=sanitizer,
+        victim=victim,
+        doc=int(victim.documents[0]),
+    )
+    runtime.nodes[1] = racy
+    return racy
+
+
+class TestCleanTree:
+    def test_zero_findings_and_byte_identical_results(self):
+        plain = build_runtime()
+        report_plain = asyncio.run(plain.run())
+
+        san = RuntimeSanitizer(registry=MetricsRegistry())
+        armed = build_runtime(sanitizer=san)
+        report_armed = asyncio.run(armed.run())
+
+        assert san.journal_length > 0
+        assert san.findings() == []
+        assert report_armed.rounds == report_plain.rounds
+        assert np.array_equal(report_armed.ranks, report_plain.ranks)
+
+    def test_recovery_soak_scenario_is_race_free(self):
+        config = SoakConfig(docs=80, peers=4, crashes=2, partitions=0)
+        graph = broder_graph(config.docs, seed=0)
+        placement = DocumentPlacement.random(config.docs, config.peers, seed=1)
+        network = P2PNetwork(config.peers, placement, build_ring=False)
+        san = RuntimeSanitizer(registry=MetricsRegistry())
+        runtime = AsyncPeerRuntime(
+            graph,
+            network,
+            epsilon=config.epsilon,
+            seed=3,
+            faults=build_soak_plan(config, 2),
+            recovery=RecoveryConfig(verify_replay_on_crash=True),
+            sanitizer=san,
+        )
+        report = asyncio.run(runtime.run(max_rounds=20_000))
+        assert report.quiesced
+        assert san.findings() == []
+
+
+class TestSeededRace:
+    def test_injected_race_is_flagged(self):
+        san = RuntimeSanitizer(registry=MetricsRegistry())
+        runtime = build_runtime(sanitizer=san)
+        inject_racy_node(runtime, san)
+        asyncio.run(runtime.run(max_rounds=500))
+        findings = san.findings()
+        assert findings, "the seeded race must be caught dynamically"
+        assert all(f.rule == "SAN001" for f in findings)
+        assert any(f.path == "runtime://peer0/published" for f in findings)
+        writer_pairs = [f for f in findings if "write by peer1" in f.message]
+        assert writer_pairs, "the racing writer must be named"
+
+    def test_explicit_sanitizer_journals_without_raising(self):
+        # Passed-in sanitizers observe; only env-armed ones raise.
+        san = RuntimeSanitizer(registry=MetricsRegistry())
+        runtime = build_runtime(sanitizer=san)
+        inject_racy_node(runtime, san)
+        report = asyncio.run(runtime.run(max_rounds=500))
+        assert report.quiesced
+        assert san.findings()
+
+
+class TestEnvGating:
+    def test_env_armed_clean_run_passes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        runtime = build_runtime(docs=60)
+        assert runtime.sanitizer is not None
+        report = asyncio.run(runtime.run())
+        assert report.quiesced
+
+    def test_env_armed_racy_run_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        runtime = build_runtime(docs=60)
+        inject_racy_node(runtime, runtime.sanitizer)
+        with pytest.raises(SanitizeRaceError) as exc_info:
+            asyncio.run(runtime.run(max_rounds=500))
+        assert exc_info.value.findings
+
+    def test_unset_env_means_no_sanitizer(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        runtime = build_runtime(docs=60)
+        assert runtime.sanitizer is None
+
+    def test_realtime_mode_rejects_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        runtime = build_runtime(docs=60)
+        with pytest.raises(RuntimeError, match="deterministic"):
+            asyncio.run(runtime.run_realtime(timeout=1.0))
+
+
+class TestFindingsSerialization:
+    def test_race_findings_json_is_byte_identical_across_runs(self):
+        docs = []
+        for _ in range(2):
+            san = RuntimeSanitizer(registry=MetricsRegistry())
+            runtime = build_runtime(sanitizer=san)
+            inject_racy_node(runtime, san)
+            asyncio.run(runtime.run(max_rounds=500))
+            docs.append(findings_to_json(san.findings()))
+        assert docs[0] == docs[1]

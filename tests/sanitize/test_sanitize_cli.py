@@ -1,0 +1,43 @@
+"""``repro sanitize`` CLI: flag surface, exit codes, output formats."""
+
+import json
+
+from repro.cli import build_parser, main
+from repro.lint.findings import findings_from_json
+
+ARGS = ["sanitize", "--docs", "40", "--peers", "3", "--schedules", "1"]
+
+
+def test_parser_exposes_the_documented_flags():
+    args = build_parser().parse_args(ARGS)
+    assert args.command == "sanitize"
+    assert args.docs == 40 and args.peers == 3 and args.schedules == 1
+    assert args.seed == 0 and args.max_rounds == 100_000
+    assert args.format == "table"
+    assert args.loss == 0.0 and args.churn is False
+
+
+def test_clean_scenario_exits_zero_with_summary(capsys):
+    assert main(ARGS) == 0
+    out = capsys.readouterr().out
+    assert "0 races" in out
+    assert "0 diverging schedules of 1" in out
+    assert "baseline digest" in out
+
+
+def test_json_format_emits_the_findings_document(capsys):
+    assert main(ARGS + ["--format", "json"]) == 0
+    out = capsys.readouterr().out
+    assert findings_from_json(out) == []
+    assert json.loads(out)["summary"]["total"] == 0
+
+
+def test_loss_scenario_skips_digest_comparison(capsys):
+    # The sequential fault-RNG stream couples drop fates to delivery
+    # order, so SAN002 would be a false positive under --loss; the CLI
+    # suppresses the comparison and says so (race checks still run).
+    assert main(ARGS + ["--loss", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "0 races" in out
+    assert "digest comparison skipped" in out
+    assert "diverging schedules" not in out
