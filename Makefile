@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck docs-check bench bench-smoke bench-full soak-smoke sanitize-smoke examples obs-demo clean
+.PHONY: install test lint typecheck docs-check bench bench-smoke bench-full soak-smoke sanitize-smoke parallel-smoke examples obs-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -55,6 +55,14 @@ soak-smoke:
 sanitize-smoke:
 	REPRO_SANITIZE=1 PYTHONPATH=src $(PYTHON) -m pytest tests/differential -q
 	PYTHONPATH=src $(PYTHON) -m repro sanitize --docs 200 --peers 8 --schedules 3
+
+# Sharded parallel-engine smoke: the differential lockdown vs the
+# serial engine (one-shard bitwise incl. churn+loss, w=2 real worker
+# processes, worker-count invariance) plus the 20-seed property sweeps
+# (docs/PERFORMANCE.md "Sharded execution model").  The CI
+# parallel-smoke job runs the same line.
+parallel-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/differential/test_parallel_vs_serial.py tests/properties -q
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

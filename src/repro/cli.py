@@ -1,7 +1,7 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Twelve commands cover the library's main entry points without writing
-any Python:
+Thirteen commands cover the library's main entry points without
+writing any Python:
 
 ``pagerank``
     Run the distributed computation on a synthetic §4.1 graph and
@@ -25,6 +25,12 @@ any Python:
     deterministic virtual-clock mode by default, ``--realtime`` for
     free-running mode, ``--tcp`` for loopback sockets — see
     docs/PROTOCOL.md §14 and docs/ARCHITECTURE.md.
+``parallel``
+    Run the multi-process sharded engine: peers partitioned into
+    shards, worker OS processes over a shared-memory CSR arena, with
+    cross-shard exchange priced like the paper's 24-byte updates —
+    results are bit-identical at any worker count for a fixed shard
+    count — see docs/PERFORMANCE.md ("Sharded execution model").
 ``soak``
     Run the chaos soak harness: randomized seeded crash/partition
     schedules against the recovery-supervised runtime with continuous
@@ -150,6 +156,30 @@ def build_parser() -> argparse.ArgumentParser:
                     help="realtime-mode wall-clock budget in seconds")
     rt.add_argument("--seed", type=int, default=0)
 
+    par = sub.add_parser(
+        "parallel",
+        help="run the multi-process sharded engine "
+        "(docs/PERFORMANCE.md, sharded execution model)",
+    )
+    par.add_argument("--docs", type=int, default=10_000, help="number of documents")
+    par.add_argument("--peers", type=int, default=100, help="number of peers")
+    par.add_argument("--workers", type=int, default=2,
+                     help="worker OS processes (capped at the shard count)")
+    par.add_argument("--shards", type=int, default=None,
+                     help="peer partition granularity (default: worker count); "
+                     "results are keyed on shards, never on workers")
+    par.add_argument("--backend", choices=["auto", "in-process", "process"],
+                     default="auto",
+                     help="execution backend (auto: process when workers > 1)")
+    par.add_argument("--epsilon", type=float, default=1e-4,
+                     help="convergence threshold")
+    par.add_argument("--damping", type=float, default=0.85)
+    par.add_argument("--availability", type=float, default=1.0,
+                     help="fraction of peers present per pass (1.0 = no churn)")
+    par.add_argument("--loss", type=float, default=0.0,
+                     help="cross-peer message drop rate (per-shard seeded streams)")
+    par.add_argument("--seed", type=int, default=0)
+
     soak = sub.add_parser(
         "soak",
         help="run the chaos soak harness: seeded crash storms with "
@@ -261,6 +291,71 @@ def _cmd_pagerank(args) -> int:
                 ("max error vs R_c", dist.max_error),
             ],
             title="Distributed pagerank run",
+        )
+    )
+    return 0
+
+
+def _cmd_parallel(args) -> int:
+    from repro.analysis import error_distribution, format_table
+    from repro.core import pagerank_reference
+    from repro.faults.plan import FaultSpec
+    from repro.graphs import broder_graph
+    from repro.p2p import DocumentPlacement, FixedFractionChurn
+    from repro.parallel import ParallelPagerank
+
+    graph = broder_graph(args.docs, seed=args.seed)
+    placement = DocumentPlacement.random(args.docs, args.peers, seed=args.seed + 1)
+    engine = ParallelPagerank(
+        graph,
+        placement.assignment,
+        num_peers=args.peers,
+        workers=args.workers,
+        shards=args.shards,
+        epsilon=args.epsilon,
+        damping=args.damping,
+        backend=args.backend,
+    )
+    availability = (
+        None
+        if args.availability >= 1.0
+        else FixedFractionChurn(args.peers, args.availability, seed=args.seed + 2)
+    )
+    fault_spec = (
+        FaultSpec(drop_rate=args.loss) if args.loss > 0.0 else None
+    )
+    report = engine.run(
+        availability=availability,
+        fault_spec=fault_spec,
+        fault_seed=args.seed + 3,
+        keep_history=False,
+    )
+    reference = pagerank_reference(graph, damping=args.damping)
+    dist = error_distribution(report.ranks, reference.ranks)
+    exchange = engine.last_exchange
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ("documents", args.docs),
+                ("peers", args.peers),
+                ("workers", engine.workers),
+                ("shards", engine.shards),
+                ("backend", engine.backend),
+                ("epsilon", args.epsilon),
+                ("availability", args.availability),
+                ("loss rate", args.loss),
+                ("converged", str(report.converged)),
+                ("passes", report.passes),
+                ("update messages", report.total_messages),
+                ("cross-shard messages", exchange.messages),
+                ("cross-shard bytes", exchange.bytes_on_wire),
+                ("cross-shard hops", exchange.hops),
+                ("worker utilization", round(engine.last_utilization, 4)),
+                ("p99 error vs R_c", dist.percentile_errors[99.0]),
+                ("max error vs R_c", dist.max_error),
+            ],
+            title="Sharded parallel pagerank run",
         )
     )
     return 0
@@ -621,6 +716,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "pagerank": _cmd_pagerank,
+        "parallel": _cmd_parallel,
         "table": _cmd_table,
         "figure2": _cmd_figure2,
         "report": _cmd_report,

@@ -32,6 +32,7 @@ from repro.core.accelerated import aitken_pagerank, quadratic_extrapolation_page
 from repro.core.kernels import (
     CSRWorkspace,
     EdgeWorkspace,
+    ShardCSRView,
     expand_rows,
     kernel_backend,
     make_workspace,
@@ -58,6 +59,7 @@ __all__ = [
     "ConvergenceTracker",
     "EdgeWorkspace",
     "CSRWorkspace",
+    "ShardCSRView",
     "make_workspace",
     "kernel_backend",
     "expand_rows",

@@ -49,6 +49,7 @@ from repro.graphs.linkgraph import LinkGraph
 __all__ = [
     "EdgeWorkspace",
     "CSRWorkspace",
+    "ShardCSRView",
     "Workspace",
     "kernel_backend",
     "make_workspace",
@@ -335,6 +336,121 @@ class CSRWorkspace:
         np.multiply(acc, damping, out=out)
         out += 1.0 - damping
         return out
+
+
+@dataclass
+class ShardCSRView:
+    """Read-only sub-CSR over a fixed row subset of a :class:`CSRWorkspace`.
+
+    The multi-process sharded engine (:mod:`repro.parallel`) gives each
+    worker shard a slice of the reverse CSR covering only its own rows;
+    source indices stay *global* so a shard pulls straight out of the
+    shared last-sent array without any id translation.  Because every
+    row keeps its complete in-edge list in the original ascending-source
+    order and the accumulation is the same sequential ``np.bincount``,
+    the values a shard computes for its rows are bit-identical to what
+    a full :meth:`CSRWorkspace.pull` over the whole graph would put
+    there — the partition cannot change any result, only who computes
+    it (the differential suite pins this down per seed).
+
+    Attributes
+    ----------
+    rows:
+        Global ids of the rows this view covers (sorted ascending).
+    rindptr:
+        Local in-adjacency row pointers (length ``rows.size + 1``).
+    rindices:
+        Global source id per in-edge of the covered rows.
+    rdata:
+        ``1/outdeg(source)`` weight per in-edge.
+    """
+
+    num_nodes: int
+    rows: np.ndarray
+    rindptr: np.ndarray
+    rindices: np.ndarray
+    rdata: np.ndarray
+    _contrib: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    _rowids: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @classmethod
+    def from_workspace(
+        cls, ws: CSRWorkspace, rows: np.ndarray
+    ) -> "ShardCSRView":
+        """Slice the reverse CSR of ``ws`` down to ``rows`` (O(shard
+        edges) one-time setup; ``rows`` must be sorted and unique)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        pos, lens = expand_rows(ws.rindptr, rows)
+        rindptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(lens, out=rindptr[1:])
+        view = cls(
+            num_nodes=ws.num_nodes,
+            rows=rows,
+            rindptr=rindptr,
+            rindices=ws.rindices[pos].copy(),
+            rdata=ws.rdata[pos].copy(),
+        )
+        view._contrib = np.empty(pos.size, dtype=np.float64)
+        view._rowids = np.repeat(np.arange(rows.size, dtype=np.int64), lens)
+        return view
+
+    @property
+    def num_rows(self) -> int:
+        """Rows covered by this view."""
+        return int(self.rows.size)
+
+    @property
+    def num_edges(self) -> int:
+        """In-edges of the covered rows."""
+        return int(self.rindices.size)
+
+    def row_edges(self, local_rows: np.ndarray) -> int:
+        """Total in-edge count of the given *local* row indices."""
+        return int(
+            (self.rindptr[local_rows + 1] - self.rindptr[local_rows]).sum()
+        )
+
+    def pull(
+        self,
+        values: np.ndarray,
+        damping: float,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Recompute every covered row from the global ``values`` array.
+
+        Returns a length-``num_rows`` array aligned with :attr:`rows`,
+        bit-identical to the same rows of a full-graph pull.
+        """
+        np.multiply(values[self.rindices], self.rdata, out=self._contrib)
+        acc = np.bincount(
+            self._rowids, weights=self._contrib, minlength=self.rows.size
+        )
+        if out is None:
+            out = np.empty(self.rows.size, dtype=np.float64)
+        np.multiply(acc, damping, out=out)
+        out += 1.0 - damping
+        return out
+
+    def pull_rows(
+        self, values: np.ndarray, damping: float, local_rows: np.ndarray
+    ) -> np.ndarray:
+        """Selective pull of the given *local* row indices (sorted).
+
+        The shard-local twin of :meth:`CSRWorkspace.pull_rows`: same
+        expansion, same sequential ``bincount``, so the returned values
+        are bit-identical to a full pull's at ``rows[local_rows]``.
+        """
+        pos, lens = expand_rows(self.rindptr, local_rows)
+        k = local_rows.size
+        if pos.size == 0:
+            return np.full(k, 1.0 - damping, dtype=np.float64)
+        contrib = values[self.rindices[pos]]
+        contrib *= self.rdata[pos]
+        local = np.repeat(np.arange(k, dtype=np.int64), lens)
+        acc = np.bincount(local, weights=contrib, minlength=k)
+        np.multiply(acc, damping, out=acc)
+        acc += 1.0 - damping
+        return acc
 
 
 #: Either kernel backend; engines accept both interchangeably.

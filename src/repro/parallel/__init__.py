@@ -1,0 +1,31 @@
+"""Multi-process sharded execution of the chaotic iteration.
+
+The package runs the paper's per-peer concurrency (§2.3) on real OS
+processes: peers are partitioned into shards, the link graph's CSR and
+the live rank state live in one :mod:`multiprocessing.shared_memory`
+arena every worker maps zero-copy, and passes proceed in barrier-
+separated compute/publish phases whose cross-shard exchange is priced
+like the paper's 24-byte update messages (§4.6.1).  The engine is
+deterministic by construction: results depend on the shard count,
+never the worker count, and a one-shard run is bit-identical to the
+serial :class:`~repro.core.distributed.ChaoticPagerank` — see
+docs/PERFORMANCE.md "Sharded execution model".
+"""
+
+from repro.parallel.engine import (
+    ExchangeStats,
+    ParallelPagerank,
+    parallel_pagerank,
+)
+from repro.parallel.plan import ShardPlan, build_shard_plan
+from repro.parallel.state import SharedArena, plan_layout
+
+__all__ = [
+    "ParallelPagerank",
+    "parallel_pagerank",
+    "ExchangeStats",
+    "ShardPlan",
+    "build_shard_plan",
+    "SharedArena",
+    "plan_layout",
+]

@@ -1,0 +1,731 @@
+"""Multi-process sharded execution engine for chaotic PageRank.
+
+:class:`ParallelPagerank` runs the same chaotic iteration as
+:class:`repro.core.distributed.ChaoticPagerank` (§2.3, Figure 1;
+churn/faults per §3.1) but partitions the peer population into shards
+executed by parallel worker OS processes over a shared-memory arena
+(docs/PERFORMANCE.md "Sharded execution model").  Determinism
+contract:
+
+* fixed shard count → results are bit-for-bit identical at **any**
+  worker count (shards, not workers, key the per-shard RNG streams);
+* ``workers=1, shards=1`` → bit-for-bit identical to the serial
+  engine, including under injected loss and churn;
+* the static (no-churn, no-fault) path is bit-identical to the serial
+  engine at every shard count.
+
+Cross-shard exchange is priced like the paper's message accounting
+(§4.6.1's 24-byte updates): each published document contributes one
+delta per out-edge whose target lives in a different shard, and hop
+counts follow the run's :class:`repro.p2p.routing.DeliveryPolicy`.
+The ``in-process`` backend drives the identical per-shard code on one
+thread (useful for tests and coverage); ``process`` is the real
+multi-process backend; ``auto`` picks ``process`` when ``workers > 1``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro._util import check_positive, check_threshold
+from repro.core.convergence import ConvergenceTracker, PassStats, RunReport
+from repro.core.distributed import AvailabilityModel, PassObserver
+from repro.core.kernels import expand_rows
+from repro.core.pagerank import DEFAULT_DAMPING
+from repro.faults.plan import FaultSpec
+from repro.graphs.linkgraph import LinkGraph
+from repro.obs import MetricsRegistry, get_registry
+from repro.p2p.messages import MESSAGE_SIZE_BYTES
+from repro.p2p.routing import DeliveryPolicy
+from repro.parallel.control import (
+    COL_ACTIVE,
+    COL_COMPUTE_S,
+    COL_COMPUTED,
+    COL_CUT,
+    COL_DEFERRED,
+    COL_DROPPED,
+    COL_MAX_CHANGE,
+    COL_MESSAGES,
+    COL_PUBLISHED,
+    COL_RESENT,
+    N_STAT_COLS,
+    churn_should_stop,
+    static_pass_is_dense,
+    static_should_stop,
+)
+from repro.parallel.plan import ShardPlan, build_shard_plan
+from repro.parallel.state import ArraySpec, SharedArena
+from repro.parallel.worker import (
+    BARRIER_TIMEOUT_S,
+    RunConfig,
+    ShardRunner,
+    build_worker_state,
+    gather_published,
+    worker_main,
+)
+
+__all__ = ["ParallelPagerank", "ExchangeStats", "parallel_pagerank"]
+
+_BACKENDS = ("auto", "in-process", "process")
+
+
+@dataclass(frozen=True)
+class ExchangeStats:
+    """Cross-shard traffic of one parallel run, priced like Eq. 4's
+    message accounting: one 24-byte delta per published rank crossing a
+    shard boundary."""
+
+    messages: int
+    bytes_on_wire: int
+    hops: int
+
+
+class _AllPresent:
+    """Availability model with every peer always live; routes
+    fault-only runs through the per-edge churn path (picklable, no
+    RNG, so every party trivially agrees)."""
+
+    def __init__(self, num_peers: int) -> None:
+        self._mask = np.ones(num_peers, dtype=bool)
+
+    def sample(self, pass_index: int) -> np.ndarray:
+        return self._mask
+
+
+class _ParallelInstruments:
+    """Registry handles for the parallel engine's emissions (no-ops
+    under the default disabled registry; docs/OBSERVABILITY.md §12)."""
+
+    __slots__ = (
+        "passes", "exchange_messages", "exchange_bytes", "exchange_hops",
+        "barrier_wait", "compute", "utilization", "imbalance", "workers",
+    )
+
+    def __init__(self, reg: MetricsRegistry) -> None:
+        self.passes = reg.counter(
+            "parallel.passes", unit="passes",
+            description="sharded-engine passes executed",
+        )
+        self.exchange_messages = reg.counter(
+            "parallel.exchange_messages", unit="messages",
+            description="rank deltas exchanged across shard boundaries",
+        )
+        self.exchange_bytes = reg.counter(
+            "parallel.exchange_bytes", unit="bytes",
+            description="cross-shard exchange volume at 24 B per delta",
+        )
+        self.exchange_hops = reg.counter(
+            "parallel.exchange_hops", unit="hops",
+            description="delivery-policy-priced hops of the cross-shard exchange",
+        )
+        self.barrier_wait = reg.timer(
+            "parallel.barrier_wait_seconds",
+            description="parent wall-clock seconds blocked on pass barriers",
+        )
+        self.compute = reg.histogram(
+            "parallel.compute_seconds", unit="seconds",
+            description="summed per-shard compute seconds, one observation per pass",
+        )
+        self.utilization = reg.gauge(
+            "parallel.worker_utilization", unit="ratio",
+            description="shard compute seconds / (workers x run wall seconds)",
+        )
+        self.imbalance = reg.gauge(
+            "parallel.shard_imbalance", unit="ratio",
+            description="largest shard's documents / mean documents per shard",
+        )
+        self.workers = reg.gauge(
+            "parallel.workers", unit="workers",
+            description="worker processes of the latest run",
+        )
+
+
+class ParallelPagerank:
+    """Sharded multi-process chaotic-iteration engine.
+
+    Parameters mirror :class:`~repro.core.distributed.ChaoticPagerank`
+    plus the execution geometry:
+
+    workers:
+        Worker OS processes (capped at the shard count — an idle
+        worker would only add barrier latency).
+    shards:
+        Partition granularity; defaults to the (capped) worker count.
+        Results are keyed on shards, never on workers.
+    backend:
+        ``"process"`` (real worker processes), ``"in-process"``
+        (identical per-shard code on one thread), or ``"auto"``
+        (process when ``workers > 1``).
+
+    Examples
+    --------
+    >>> from repro.graphs import cycle_graph
+    >>> engine = ParallelPagerank(cycle_graph(6), workers=2, epsilon=1e-6,
+    ...                           backend="in-process")
+    >>> report = engine.run()
+    >>> bool(report.converged)
+    True
+    """
+
+    def __init__(
+        self,
+        graph: LinkGraph,
+        assignment: Optional[np.ndarray] = None,
+        *,
+        num_peers: Optional[int] = None,
+        workers: int = 1,
+        shards: Optional[int] = None,
+        damping: float = DEFAULT_DAMPING,
+        epsilon: float = 1e-3,
+        init_rank: float = 1.0,
+        backend: str = "auto",
+    ) -> None:
+        check_threshold("damping", damping)
+        check_threshold("epsilon", epsilon)
+        check_positive("init_rank", init_rank)
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if backend not in _BACKENDS:
+            raise ValueError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
+        self.graph = graph
+        self.damping = float(damping)
+        self.epsilon = float(epsilon)
+        self.init_rank = float(init_rank)
+        self.backend = backend
+
+        n = graph.num_nodes
+        if assignment is None:
+            assignment = np.arange(n, dtype=np.int64)
+            inferred_peers = n
+        else:
+            assignment = np.asarray(assignment, dtype=np.int64)
+            if assignment.shape != (n,):
+                raise ValueError(
+                    f"assignment must have shape ({n},), got {assignment.shape}"
+                )
+            if n and assignment.min() < 0:
+                raise ValueError("peer ids must be non-negative")
+            inferred_peers = int(assignment.max()) + 1 if n else 0
+        self.assignment = assignment
+        self.num_peers = int(num_peers) if num_peers is not None else inferred_peers
+        if n and self.num_peers <= int(assignment.max()):
+            raise ValueError(
+                f"num_peers={self.num_peers} too small for assignment "
+                f"max {int(assignment.max())}"
+            )
+
+        max_shards = max(self.num_peers, 1)
+        if shards is None:
+            shards = min(workers, max_shards)
+        if not 1 <= shards <= max_shards:
+            raise ValueError(
+                f"shards must be in [1, num_peers={max_shards}], got {shards}"
+            )
+        self.shards = int(shards)
+        self.workers = min(int(workers), self.shards)
+
+        self._indptr = np.ascontiguousarray(graph.indptr, dtype=np.int64)
+        self._indices = np.ascontiguousarray(graph.indices, dtype=np.int64)
+        self.plan: ShardPlan = build_shard_plan(
+            self.assignment, max(self.num_peers, 1), self.shards
+        )
+        #: Cross-shard exchange of the most recent run.
+        self.last_exchange: Optional[ExchangeStats] = None
+        #: Compute-seconds / (workers x wall) of the most recent run.
+        self.last_utilization: float = 0.0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        max_passes: int = 100_000,
+        availability: Optional[AvailabilityModel] = None,
+        initial_ranks: Optional[np.ndarray] = None,
+        keep_history: bool = True,
+        on_pass: Optional[PassObserver] = None,
+        fault_spec: Optional[FaultSpec] = None,
+        fault_seed: int = 0,
+        max_dead_passes: int = 50,
+        delivery_policy: Optional[DeliveryPolicy] = None,
+    ) -> RunReport:
+        """Iterate to the strong convergence criterion or the budget.
+
+        Faults are specified as a picklable :class:`FaultSpec` plus a
+        ``fault_seed`` (not a live :class:`~repro.faults.plan.FaultPlan`)
+        because every shard derives its own seeded stream: one shard
+        replays the serial plan's exact sequence, several shards split
+        the seed via ``SeedSequence.spawn``.  ``delivery_policy``
+        prices cross-shard exchange hops on the static path (direct
+        delivery — one hop per delta — when ``None``).
+        """
+        if max_dead_passes < 1:
+            raise ValueError(
+                f"max_dead_passes must be >= 1, got {max_dead_passes}"
+            )
+        n = self.graph.num_nodes
+        tracker = ConvergenceTracker(self.epsilon, keep_history=keep_history)
+        if n == 0:
+            self.last_exchange = ExchangeStats(0, 0, 0)
+            return tracker.finish(np.zeros(0), True)
+
+        mode = "churn" if (availability is not None or fault_spec is not None) else "static"
+        if mode == "churn" and availability is None:
+            availability = _AllPresent(self.num_peers)
+        cfg = RunConfig(
+            num_docs=n,
+            num_peers=max(self.num_peers, 1),
+            shards=self.shards,
+            workers=self.workers,
+            damping=self.damping,
+            epsilon=self.epsilon,
+            max_passes=max_passes,
+            mode=mode,
+            max_dead_passes=max_dead_passes,
+            fault_spec=fault_spec,
+            fault_seed=fault_seed,
+            availability=availability,
+        )
+        rank0 = self._initial_rank_vector(initial_ranks)
+        backend = self.backend
+        if backend == "auto":
+            backend = "process" if self.workers > 1 else "in-process"
+
+        obs = _ParallelInstruments(get_registry())
+        sizes = np.diff(self.plan.row_offsets).astype(np.float64)
+        obs.imbalance.set(float(sizes.max() / sizes.mean()) if sizes.mean() else 1.0)
+        obs.workers.set(self.workers if backend == "process" else 1)
+
+        if backend == "in-process":
+            return self._run_in_process(
+                cfg, rank0, tracker, obs, on_pass, delivery_policy
+            )
+        return self._run_process(
+            cfg, rank0, tracker, obs, on_pass, delivery_policy
+        )
+
+    # ------------------------------------------------------------------
+    # Shared parent-side bookkeeping
+    # ------------------------------------------------------------------
+    def _initial_rank_vector(self, initial_ranks: Optional[np.ndarray]) -> np.ndarray:
+        n = self.graph.num_nodes
+        if initial_ranks is None:
+            return np.full(n, self.init_rank, dtype=np.float64)
+        initial_ranks = np.asarray(initial_ranks, dtype=np.float64)
+        if initial_ranks.shape != (n,):
+            raise ValueError(
+                f"initial_ranks must have shape ({n},), got {initial_ranks.shape}"
+            )
+        if np.any(initial_ranks <= 0):
+            raise ValueError("initial_ranks must be strictly positive")
+        return initial_ranks.copy()
+
+    def _shared_specs(self, cfg: RunConfig) -> List[ArraySpec]:
+        n = cfg.num_docs
+        return [
+            ("indptr", "int64", (n + 1,)),
+            ("indices", "int64", (self._indices.size,)),
+            ("assignment", "int64", (n,)),
+            ("last_sent", "float64", (n,)),
+            ("rank", "float64", (n,)),
+            ("active", "bool", (n,)),
+            ("published", "int64", (n,)),
+            ("stats", "float64", (cfg.shards, N_STAT_COLS)),
+        ]
+
+    def _fresh_views(self, cfg: RunConfig, rank0: np.ndarray) -> Dict[str, np.ndarray]:
+        n = cfg.num_docs
+        return {
+            "indptr": self._indptr,
+            "indices": self._indices,
+            "assignment": self.assignment,
+            "last_sent": rank0.copy(),
+            "rank": rank0.copy(),
+            "active": np.zeros(n, dtype=bool),
+            "published": np.zeros(n, dtype=np.int64),
+            "stats": np.zeros((cfg.shards, N_STAT_COLS), dtype=np.float64),
+        }
+
+    def _price_static_exchange(
+        self,
+        policy: Optional[DeliveryPolicy],
+        views: Dict[str, np.ndarray],
+        stats: np.ndarray,
+    ) -> int:
+        """Hops of this pass's cross-shard exchange: direct delivery
+        (one hop per delta) unless a policy prices the routing."""
+        cut = int(stats[:, COL_CUT].sum())
+        if policy is None:
+            return cut
+        plan = self.plan
+        hops = 0
+        for s in range(plan.shards):
+            count = int(stats[s, COL_PUBLISHED])
+            if not count:
+                continue
+            offset = int(plan.row_offsets[s])
+            pub = np.asarray(views["published"][offset: offset + count])
+            tpos, lens = expand_rows(self._indptr, pub)
+            targets = self._indices[tpos]
+            cut_targets = targets[
+                plan.doc_shard[targets] != np.repeat(plan.doc_shard[pub], lens)
+            ]
+            if cut_targets.size:
+                sender = int(np.flatnonzero(plan.peer_shard == s)[0])
+                hops += int(policy.delivery_hops_batch(sender, cut_targets))
+        return hops
+
+    def _record_static(
+        self,
+        tracker: ConvergenceTracker,
+        obs: _ParallelInstruments,
+        stats: np.ndarray,
+        t: int,
+    ) -> None:
+        obs.passes.inc()
+        obs.compute.observe(float(stats[:, COL_COMPUTE_S].sum()))
+        tracker.record(
+            PassStats(
+                pass_index=t,
+                max_rel_change=float(stats[:, COL_MAX_CHANGE].max()),
+                active_documents=int(stats[:, COL_ACTIVE].sum()),
+                messages=int(stats[:, COL_MESSAGES].sum()),
+                deferred_messages=0,
+                live_peers=self.num_peers,
+                computed_documents=self.graph.num_nodes,
+            )
+        )
+
+    def _record_churn(
+        self,
+        tracker: ConvergenceTracker,
+        obs: _ParallelInstruments,
+        stats: np.ndarray,
+        t: int,
+        live_peers: int,
+    ) -> None:
+        obs.passes.inc()
+        obs.compute.observe(float(stats[:, COL_COMPUTE_S].sum()))
+        tracker.record(
+            PassStats(
+                pass_index=t,
+                max_rel_change=float(stats[:, COL_MAX_CHANGE].max()),
+                active_documents=int(stats[:, COL_ACTIVE].sum()),
+                messages=int(stats[:, COL_MESSAGES].sum()),
+                deferred_messages=int(stats[:, COL_DEFERRED].sum()),
+                live_peers=live_peers,
+                computed_documents=int(stats[:, COL_COMPUTED].sum()),
+            )
+        )
+
+    def _finish(
+        self,
+        tracker: ConvergenceTracker,
+        rank: np.ndarray,
+        converged: bool,
+        obs: _ParallelInstruments,
+        exchange_messages: int,
+        exchange_hops: int,
+        compute_total: float,
+        wall: float,
+    ) -> RunReport:
+        exchange = ExchangeStats(
+            messages=exchange_messages,
+            bytes_on_wire=exchange_messages * MESSAGE_SIZE_BYTES,
+            hops=exchange_hops,
+        )
+        self.last_exchange = exchange
+        denom = self.workers * wall
+        self.last_utilization = compute_total / denom if denom > 0 else 0.0
+        obs.exchange_messages.inc(exchange.messages)
+        obs.exchange_bytes.inc(exchange.bytes_on_wire)
+        obs.exchange_hops.inc(exchange.hops)
+        obs.utilization.set(self.last_utilization)
+        return tracker.finish(rank.copy(), converged)
+
+    @staticmethod
+    def _validate_live(live: np.ndarray, num_peers: int) -> np.ndarray:
+        live = np.asarray(live, dtype=bool)
+        if live.shape != (num_peers,):
+            raise ValueError(
+                f"availability.sample must return shape ({num_peers},), "
+                f"got {live.shape}"
+            )
+        return live
+
+    @staticmethod
+    def _starvation_error(dead_streak: int, t: int) -> RuntimeError:
+        return RuntimeError(
+            f"no live peers for {dead_streak} consecutive "
+            f"passes (pass {t}); the availability model "
+            "starves the computation — raise availability "
+            "or max_dead_passes"
+        )
+
+    # ------------------------------------------------------------------
+    # In-process backend: the same per-shard code on one thread
+    # ------------------------------------------------------------------
+    def _run_in_process(
+        self,
+        cfg: RunConfig,
+        rank0: np.ndarray,
+        tracker: ConvergenceTracker,
+        obs: _ParallelInstruments,
+        on_pass: Optional[PassObserver],
+        policy: Optional[DeliveryPolicy],
+    ) -> RunReport:
+        if policy is not None:
+            policy.reset()
+        views = self._fresh_views(cfg, rank0)
+        state = build_worker_state(cfg, views)
+        runners = [ShardRunner(state, s) for s in range(cfg.shards)]
+        stats = views["stats"]
+        rank = views["rank"]
+        converged = False
+        ex_messages = 0
+        ex_hops = 0
+        compute_total = 0.0
+        t_start = perf_counter()
+        if cfg.mode == "static":
+            prev_published = 0
+            for t in range(cfg.max_passes):
+                dense = static_pass_is_dense(t, prev_published, cfg.num_docs)
+                published_global = (
+                    None if dense
+                    else gather_published(views, state.plan, stats)
+                )
+                for runner in runners:
+                    runner.static_compute(t, dense, published_global)
+                for runner in runners:
+                    runner.static_publish()
+                prev_published = int(stats[:, COL_PUBLISHED].sum())
+                ex_messages += int(stats[:, COL_CUT].sum())
+                ex_hops += self._price_static_exchange(policy, views, stats)
+                compute_total += float(stats[:, COL_COMPUTE_S].sum())
+                if on_pass is not None:
+                    on_pass(t, rank)
+                self._record_static(tracker, obs, stats, t)
+                if static_should_stop(stats):
+                    converged = True
+                    break
+        else:
+            availability = cfg.availability
+            assert availability is not None
+            dead_streak = 0
+            for t in range(cfg.max_passes):
+                live = self._validate_live(
+                    availability.sample(t), cfg.num_peers
+                )
+                if not live.any():
+                    dead_streak += 1
+                    for runner in runners:
+                        runner.churn_dead_pass(t)
+                    self._record_churn(tracker, obs, stats, t, 0)
+                    if dead_streak >= cfg.max_dead_passes:
+                        raise self._starvation_error(dead_streak, t)
+                    continue
+                dead_streak = 0
+                for runner in runners:
+                    runner.churn_compute(t, live)
+                for runner in runners:
+                    runner.churn_publish()
+                for runner in runners:
+                    runner.churn_deliver(t, live)
+                ex_messages += int(stats[:, COL_CUT].sum())
+                ex_hops += int(stats[:, COL_CUT].sum())
+                compute_total += float(stats[:, COL_COMPUTE_S].sum())
+                if on_pass is not None:
+                    on_pass(t, rank)
+                self._record_churn(
+                    tracker, obs, stats, t, int(live.sum())
+                )
+                if churn_should_stop(stats):
+                    converged = True
+                    break
+        wall = perf_counter() - t_start
+        return self._finish(
+            tracker, rank, converged, obs,
+            ex_messages, ex_hops, compute_total, wall,
+        )
+
+    # ------------------------------------------------------------------
+    # Process backend: worker OS processes over the shared arena
+    # ------------------------------------------------------------------
+    def _run_process(
+        self,
+        cfg: RunConfig,
+        rank0: np.ndarray,
+        tracker: ConvergenceTracker,
+        obs: _ParallelInstruments,
+        on_pass: Optional[PassObserver],
+        policy: Optional[DeliveryPolicy],
+    ) -> RunReport:
+        if policy is not None:
+            policy.reset()
+        start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(start_method)
+        arena = SharedArena.create(self._shared_specs(cfg))
+        procs: List[mp.process.BaseProcess] = []
+        barrier_a = ctx.Barrier(cfg.workers + 1)
+        barrier_b = ctx.Barrier(cfg.workers + 1)
+        errors = ctx.Queue()
+        try:
+            arena.view("indptr")[:] = self._indptr
+            arena.view("indices")[:] = self._indices
+            arena.view("assignment")[:] = self.assignment
+            arena.view("last_sent")[:] = rank0
+            arena.view("rank")[:] = rank0
+            arena.view("active")[:] = False
+            arena.view("published")[:] = 0
+            arena.view("stats")[:] = 0.0
+            views = arena.views()
+            stats = views["stats"]
+            rank = views["rank"]
+            for w in range(cfg.workers):
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(
+                        w, cfg, arena.name, arena.layout,
+                        barrier_a, barrier_b, errors,
+                        start_method == "spawn",
+                    ),
+                    daemon=True,
+                )
+                proc.start()
+                procs.append(proc)
+
+            converged = False
+            ex_messages = 0
+            ex_hops = 0
+            compute_total = 0.0
+            t_start = perf_counter()
+            try:
+                if cfg.mode == "static":
+                    for t in range(cfg.max_passes):
+                        with obs.barrier_wait:
+                            barrier_a.wait(BARRIER_TIMEOUT_S)
+                            barrier_b.wait(BARRIER_TIMEOUT_S)
+                        ex_messages += int(stats[:, COL_CUT].sum())
+                        ex_hops += self._price_static_exchange(
+                            policy, views, stats
+                        )
+                        compute_total += float(stats[:, COL_COMPUTE_S].sum())
+                        if on_pass is not None:
+                            on_pass(t, rank)
+                        self._record_static(tracker, obs, stats, t)
+                        if static_should_stop(stats):
+                            converged = True
+                            break
+                else:
+                    # Parent holds its own identically seeded copy of
+                    # the availability model: under fork the workers'
+                    # copies snapshot the same pre-run RNG state, under
+                    # spawn they are pickled from it.
+                    availability = cfg.availability
+                    assert availability is not None
+                    dead_streak = 0
+                    for t in range(cfg.max_passes):
+                        live = self._validate_live(
+                            availability.sample(t), cfg.num_peers
+                        )
+                        if not live.any():
+                            dead_streak += 1
+                            with obs.barrier_wait:
+                                barrier_a.wait(BARRIER_TIMEOUT_S)
+                                barrier_b.wait(BARRIER_TIMEOUT_S)
+                                barrier_a.wait(BARRIER_TIMEOUT_S)
+                            self._record_churn(tracker, obs, stats, t, 0)
+                            if dead_streak >= cfg.max_dead_passes:
+                                raise self._starvation_error(dead_streak, t)
+                            continue
+                        dead_streak = 0
+                        with obs.barrier_wait:
+                            barrier_a.wait(BARRIER_TIMEOUT_S)
+                            barrier_b.wait(BARRIER_TIMEOUT_S)
+                            barrier_a.wait(BARRIER_TIMEOUT_S)
+                        ex_messages += int(stats[:, COL_CUT].sum())
+                        ex_hops += int(stats[:, COL_CUT].sum())
+                        compute_total += float(stats[:, COL_COMPUTE_S].sum())
+                        if on_pass is not None:
+                            on_pass(t, rank)
+                        self._record_churn(
+                            tracker, obs, stats, t, int(live.sum())
+                        )
+                        if churn_should_stop(stats):
+                            converged = True
+                            break
+            except threading.BrokenBarrierError:
+                raise self._collect_worker_error(errors)
+            finally:
+                # Unblock any worker still parked on a barrier (e.g.
+                # when the parent errored between waits), then reap.
+                barrier_a.abort()
+                barrier_b.abort()
+            wall = perf_counter() - t_start
+            rank_final = np.array(rank, copy=True)
+            return self._finish(
+                tracker, rank_final, converged, obs,
+                ex_messages, ex_hops, compute_total, wall,
+            )
+        finally:
+            for proc in procs:
+                proc.join(timeout=30.0)
+            for proc in procs:
+                if proc.is_alive():  # pragma: no cover - hung worker
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            arena.close()
+            arena.unlink()
+
+    @staticmethod
+    def _collect_worker_error(errors) -> RuntimeError:
+        tracebacks = []
+        try:
+            while True:
+                worker_id, text = errors.get_nowait()
+                tracebacks.append(f"[worker {worker_id}]\n{text}")
+        except Exception:
+            pass
+        detail = "\n".join(tracebacks) if tracebacks else "(no traceback reported)"
+        return RuntimeError(f"parallel worker failed:\n{detail}")
+
+
+def parallel_pagerank(
+    graph: LinkGraph,
+    assignment: Optional[np.ndarray] = None,
+    *,
+    num_peers: Optional[int] = None,
+    workers: int = 1,
+    shards: Optional[int] = None,
+    damping: float = DEFAULT_DAMPING,
+    epsilon: float = 1e-3,
+    max_passes: int = 100_000,
+    availability: Optional[AvailabilityModel] = None,
+    fault_spec: Optional[FaultSpec] = None,
+    fault_seed: int = 0,
+    backend: str = "auto",
+) -> RunReport:
+    """One-call convenience wrapper around :class:`ParallelPagerank`."""
+    engine = ParallelPagerank(
+        graph,
+        assignment,
+        num_peers=num_peers,
+        workers=workers,
+        shards=shards,
+        damping=damping,
+        epsilon=epsilon,
+        backend=backend,
+    )
+    return engine.run(
+        max_passes=max_passes,
+        availability=availability,
+        fault_spec=fault_spec,
+        fault_seed=fault_seed,
+    )

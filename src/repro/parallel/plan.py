@@ -1,0 +1,96 @@
+"""Deterministic peer-to-shard partitioning for the parallel engine.
+
+The sharded engine (§2.3 run on real OS processes, docs/PERFORMANCE.md
+"Sharded execution model") splits the peer population into ``shards``
+contiguous blocks and derives the document partition through the
+placement assignment, so every document of one peer lands in one shard
+— exactly the paper's unit of concurrency.  The partition is a pure
+function of ``(num_peers, shards)``: no RNG, no hashing, no dependence
+on worker count — which is what lets a run's results be reproduced
+bit-for-bit at any worker count (shards, not workers, are the unit the
+deterministic per-shard RNG streams key on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ShardPlan", "build_shard_plan"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The immutable partition a parallel run executes under.
+
+    Attributes
+    ----------
+    num_docs:
+        Documents in the graph.
+    num_peers:
+        Peer population.
+    shards:
+        Number of shards (``1 <= shards <= num_peers``).
+    peer_shard:
+        Shard of every peer (length ``num_peers``); contiguous blocks
+        ``peer_shard[p] = p * shards // num_peers``.
+    doc_shard:
+        Shard of every document — ``peer_shard[assignment]``.
+    rows:
+        Per-shard sorted document ids (ascending; disjoint; their union
+        covers every document).
+    row_offsets:
+        Exclusive prefix sums of per-shard row counts (length
+        ``shards + 1``) — the per-shard regions of the shared
+        published-ids array.
+    """
+
+    num_docs: int
+    num_peers: int
+    shards: int
+    peer_shard: np.ndarray
+    doc_shard: np.ndarray
+    rows: Tuple[np.ndarray, ...]
+    row_offsets: np.ndarray
+
+    def shards_of_worker(self, worker: int, workers: int) -> Tuple[int, ...]:
+        """Shards executed by ``worker`` (round-robin, ascending), so a
+        fixed shard count gives identical results at any worker count."""
+        return tuple(range(worker, self.shards, workers))
+
+
+def build_shard_plan(
+    assignment: np.ndarray, num_peers: int, shards: int
+) -> ShardPlan:
+    """Partition peers into ``shards`` contiguous blocks and project the
+    partition onto documents through ``assignment``.
+
+    Deterministic and RNG-free; every party of a parallel run (parent
+    and workers) rebuilds the identical plan from the same inputs.
+    """
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if num_peers < 1:
+        raise ValueError(f"num_peers must be >= 1, got {num_peers}")
+    if not 1 <= shards <= num_peers:
+        raise ValueError(
+            f"shards must be in [1, num_peers={num_peers}], got {shards}"
+        )
+    peer_shard = (np.arange(num_peers, dtype=np.int64) * shards) // num_peers
+    doc_shard = peer_shard[assignment]
+    rows = tuple(
+        np.flatnonzero(doc_shard == s).astype(np.int64)
+        for s in range(shards)
+    )
+    row_offsets = np.zeros(shards + 1, dtype=np.int64)
+    np.cumsum([r.size for r in rows], out=row_offsets[1:])
+    return ShardPlan(
+        num_docs=int(assignment.size),
+        num_peers=int(num_peers),
+        shards=int(shards),
+        peer_shard=peer_shard,
+        doc_shard=doc_shard,
+        rows=rows,
+        row_offsets=row_offsets,
+    )

@@ -1,0 +1,170 @@
+"""Differential lockdown: sharded parallel engine vs the serial engine.
+
+The determinism contract of :mod:`repro.parallel`
+(docs/PERFORMANCE.md "Sharded execution model"):
+
+* ``workers=1, shards=1`` is **bitwise** identical to
+  :class:`repro.core.distributed.ChaoticPagerank` — ranks, pass count,
+  and the full per-pass statistics history — on the static path and
+  under churn + injected loss (the one-shard run replays the serial
+  engine's exact fault-stream draws);
+* the static path is bitwise identical to the serial engine at *every*
+  shard count (per-row values don't depend on the partition);
+* for a fixed shard count, results are bitwise identical at every
+  worker count and across the ``in-process`` and ``process`` backends,
+  and re-running is bitwise reproducible;
+* churn + loss runs at any shard count stay within the §4.4 quality
+  envelope of the synchronous reference (p99 relative error < 5e-3).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ChaoticPagerank, pagerank_reference
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.graphs import broder_graph
+from repro.p2p import DocumentPlacement
+from repro.p2p.churn import FixedFractionChurn
+from repro.parallel import ParallelPagerank
+
+EPSILON = 1e-6
+DOCS = 1000
+PEERS = 50
+P99_TOLERANCE = 5e-3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = broder_graph(DOCS, seed=7)
+    assignment = DocumentPlacement.random(DOCS, PEERS, seed=8).assignment
+    return graph, assignment
+
+
+def serial_run(workload, *, churn=False):
+    graph, assignment = workload
+    kwargs = {}
+    if churn:
+        kwargs["availability"] = FixedFractionChurn(PEERS, 0.75, seed=11)
+        kwargs["fault_plan"] = FaultPlan(FaultSpec(drop_rate=0.05), seed=13)
+    return ChaoticPagerank(graph, assignment, epsilon=EPSILON).run(**kwargs)
+
+
+def parallel_run(workload, *, workers, shards, backend, churn=False):
+    graph, assignment = workload
+    engine = ParallelPagerank(
+        graph, assignment,
+        workers=workers, shards=shards,
+        epsilon=EPSILON, backend=backend,
+    )
+    kwargs = {}
+    if churn:
+        kwargs["availability"] = FixedFractionChurn(PEERS, 0.75, seed=11)
+        kwargs["fault_spec"] = FaultSpec(drop_rate=0.05)
+        kwargs["fault_seed"] = 13
+    return engine.run(**kwargs)
+
+
+def assert_bitwise(a, b):
+    assert np.array_equal(a.ranks, b.ranks)
+    assert a.passes == b.passes
+    assert a.converged == b.converged
+    assert a.total_messages == b.total_messages
+    assert a.history == b.history
+
+
+@pytest.mark.parametrize("backend", ["in-process", "process"])
+def test_one_shard_static_bitwise_vs_serial(workload, backend):
+    assert_bitwise(
+        parallel_run(workload, workers=1, shards=1, backend=backend),
+        serial_run(workload),
+    )
+
+
+@pytest.mark.parametrize("backend", ["in-process", "process"])
+def test_one_shard_churn_loss_bitwise_vs_serial(workload, backend):
+    """One shard replays the serial engine's exact availability and
+    fault-stream draws, so churn + loss must also be bitwise."""
+    assert_bitwise(
+        parallel_run(workload, workers=1, shards=1, backend=backend, churn=True),
+        serial_run(workload, churn=True),
+    )
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_static_bitwise_at_any_shard_count(workload, shards):
+    """The static path's per-row values don't depend on the partition,
+    so even multi-shard runs match the serial engine bitwise."""
+    assert_bitwise(
+        parallel_run(workload, workers=1, shards=shards, backend="in-process"),
+        serial_run(workload),
+    )
+
+
+def test_process_two_workers_static_bitwise_vs_serial(workload):
+    """The CI parallel-smoke gate: real worker processes, w=2."""
+    assert_bitwise(
+        parallel_run(workload, workers=2, shards=2, backend="process"),
+        serial_run(workload),
+    )
+
+
+def test_worker_count_invariance_fixed_shards(workload):
+    """Fixed shards=4: every worker count and both backends produce the
+    identical churn + loss run, and re-running reproduces it."""
+    reference = parallel_run(
+        workload, workers=1, shards=4, backend="in-process", churn=True
+    )
+    for backend, workers in (
+        ("in-process", 1),
+        ("process", 1),
+        ("process", 2),
+        ("process", 4),
+    ):
+        assert_bitwise(
+            parallel_run(
+                workload, workers=workers, shards=4,
+                backend=backend, churn=True,
+            ),
+            reference,
+        )
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+def test_churn_loss_quality_envelope(workload, shards):
+    """Multi-shard fault streams differ from the serial one, but the
+    converged ranks must stay inside the paper's quality envelope."""
+    graph, _ = workload
+    report = parallel_run(
+        workload, workers=1, shards=shards, backend="in-process", churn=True
+    )
+    assert report.converged
+    reference = pagerank_reference(graph, tol=1e-12).ranks
+    rel = np.abs(report.ranks - reference) / reference
+    assert float(np.percentile(rel, 99)) < P99_TOLERANCE
+
+
+def test_exchange_accounting(workload):
+    """Cross-shard exchange: zero for one shard; for several shards,
+    bounded by messages x 24 B pricing and mirrored in the report."""
+    graph, assignment = workload
+    single = ParallelPagerank(
+        graph, assignment, workers=1, shards=1,
+        epsilon=EPSILON, backend="in-process",
+    )
+    single.run()
+    assert single.last_exchange.messages == 0
+    assert single.last_exchange.bytes_on_wire == 0
+
+    sharded = ParallelPagerank(
+        graph, assignment, workers=1, shards=4,
+        epsilon=EPSILON, backend="in-process",
+    )
+    report = sharded.run()
+    exchange = sharded.last_exchange
+    assert exchange.messages > 0
+    assert exchange.bytes_on_wire == exchange.messages * 24
+    # Direct delivery prices one hop per delta.
+    assert exchange.hops == exchange.messages
+    # Shard cut can only add boundaries on top of the peer partition
+    # the serial message accounting uses.
+    assert report.total_messages >= 0
