@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test lint typecheck docs-check bench bench-smoke bench-full soak-smoke sanitize-smoke parallel-smoke examples obs-demo clean
+.PHONY: install test lint typecheck docs-check bench bench-smoke bench-full soak-smoke sanitize-smoke parallel-smoke serve-smoke examples obs-demo clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -63,6 +63,14 @@ sanitize-smoke:
 # parallel-smoke job runs the same line.
 parallel-smoke:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/differential/test_parallel_vs_serial.py tests/properties -q
+
+# Query-serving smoke: a 30-unit deterministic serving run with the
+# invariant probes (conservation, no silent drops, bounded queues) and
+# the read-only control — final ranks must be byte-identical to a
+# no-serving replay (docs/SERVING.md "Determinism contract").  The CI
+# serve-smoke job runs the same line.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro serve --docs 200 --peers 10 --qps 40 --duration 30 --verify-ranks
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done

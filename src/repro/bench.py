@@ -92,10 +92,14 @@ class BenchScenario:
     ``engine`` is ``"vectorized"`` (the pass engine), ``"simulator"``
     (the protocol-level simulator), ``"runtime"`` (the concurrent
     asyncio runtime in deterministic scheduler mode — its ``passes``
-    measurement records scheduler rounds), or ``"parallel"`` (the
+    measurement records scheduler rounds), ``"parallel"`` (the
     multi-process sharded engine of :mod:`repro.parallel`, with
-    ``workers`` worker processes); ``kernel`` is the
-    :func:`repro.core.kernel_backend` the run is pinned to.
+    ``workers`` worker processes), or ``"serve"`` (the query-serving
+    layer of :mod:`repro.serve` offering ``qps`` queries per clock
+    unit for ``duration`` units — its ``passes`` measurement records
+    completed queries and ``messages`` the document ids moved);
+    ``kernel`` is the :func:`repro.core.kernel_backend` the run is
+    pinned to.
     """
 
     name: str
@@ -110,9 +114,13 @@ class BenchScenario:
     max_passes: int = 5_000
     repeats: int = 1
     workers: int = 1
+    qps: float = 0.0
+    duration: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.engine not in ("vectorized", "simulator", "runtime", "parallel"):
+        if self.engine not in (
+            "vectorized", "simulator", "runtime", "parallel", "serve"
+        ):
             raise ValueError(f"unknown engine {self.engine!r}")
         if self.kernel not in ("csr", "naive"):
             raise ValueError(f"unknown kernel {self.kernel!r}")
@@ -124,12 +132,29 @@ class BenchScenario:
             raise ValueError(
                 f"workers applies to the parallel engine only, got {self.engine!r}"
             )
+        if self.engine == "serve":
+            if self.qps <= 0 or self.duration <= 0:
+                raise ValueError("serve scenarios need qps > 0 and duration > 0")
+            if self.loss or self.churn:
+                raise ValueError(
+                    "serve scenarios run a lossless, churn-free runtime"
+                )
+        elif self.qps or self.duration:
+            raise ValueError(
+                f"qps/duration apply to the serve engine only, got {self.engine!r}"
+            )
 
 
 @dataclass(frozen=True)
 class BenchResult:
     """Measured outcome of one scenario: the deterministic protocol
-    numbers (passes/messages/bytes/converged) plus wall-time."""
+    numbers (passes/messages/bytes/converged) plus wall-time.
+
+    ``extra`` carries engine-specific measurements flattened into the
+    JSON row — the serve engine records achieved QPS, latency
+    percentiles, and cache hit rate there (docs/PERFORMANCE.md,
+    "Serve rows").
+    """
 
     scenario: BenchScenario
     wall_s: float
@@ -137,6 +162,7 @@ class BenchResult:
     messages: int
     bytes_on_wire: int
     converged: bool
+    extra: Optional[Dict[str, float]] = None
 
     def to_json(self) -> Dict[str, object]:
         d = dict(asdict(self.scenario))
@@ -147,6 +173,8 @@ class BenchResult:
             bytes_on_wire=self.bytes_on_wire,
             converged=self.converged,
         )
+        if self.extra:
+            d.update(self.extra)
         return d
 
 
@@ -244,6 +272,27 @@ def default_matrix(*, smoke: bool = False) -> List[BenchScenario]:
                 workers=workers,
             )
         )
+    # Query-serving rows: the 1k-document corpus served at 1,000 QPS
+    # (smoke) and 10,000 QPS (full matrix, the open-loop overload
+    # regime).  Names key on offered QPS; the durations are short —
+    # offered load, not wall-time, is what scales the row.
+    serve_rows = [("serve_qps_1k", 1_000.0, 2.0)]
+    if not smoke:
+        serve_rows.append(("serve_qps_10k", 10_000.0, 1.0))
+    for name, qps, duration in serve_rows:
+        scenarios.append(
+            BenchScenario(
+                name=name,
+                engine="serve",
+                docs=1_000,
+                peers=PEERS_AT[1_000],
+                epsilon=1e-4,
+                loss=0.0,
+                churn=False,
+                qps=qps,
+                duration=duration,
+            )
+        )
     return scenarios
 
 
@@ -309,6 +358,7 @@ def run_scenario(scenario: BenchScenario) -> BenchResult:
         "simulator": _run_simulator,
         "runtime": _run_runtime,
         "parallel": _run_parallel,
+        "serve": _run_serve,
     }[scenario.engine]
     try:
         result = runner(scenario)
@@ -508,6 +558,38 @@ def _run_runtime(scenario: BenchScenario) -> BenchResult:
     )
 
 
+def _run_serve(scenario: BenchScenario) -> BenchResult:
+    from repro.serve.service import ServeConfig, ServeSession
+
+    config = ServeConfig(
+        docs=scenario.docs,
+        peers=scenario.peers,
+        seed=scenario.seed,
+        qps=scenario.qps,
+        duration=scenario.duration,
+        epsilon=scenario.epsilon,
+    )
+    session = ServeSession(config)
+    start = time.perf_counter()
+    report = session.run()
+    wall = time.perf_counter() - start
+    return BenchResult(
+        scenario=scenario,
+        wall_s=wall,
+        passes=report.completed,
+        messages=report.traffic_doc_ids,
+        bytes_on_wire=report.bytes_on_wire,
+        converged=report.runtime.converged,
+        extra={
+            "qps_achieved": report.qps_achieved,
+            "latency_p50_s": report.latency_p50,
+            "latency_p99_s": report.latency_p99,
+            "cache_hit_rate": report.cache_hit_rate,
+            "shed_rate": report.shed_rate,
+        },
+    )
+
+
 def run_bench(
     *,
     smoke: bool = False,
@@ -619,7 +701,7 @@ def compare_results(
     checked = 0
     param_keys = (
         "engine", "kernel", "docs", "peers", "epsilon", "loss", "churn",
-        "seed", "max_passes", "workers",
+        "seed", "max_passes", "workers", "qps", "duration",
     )
     for row in current.get("scenarios", []):
         old = committed_rows.get(row["name"])
@@ -630,7 +712,15 @@ def compare_results(
             # experiment, not a baseline.
             continue
         checked += 1
-        for key in ("passes", "messages", "bytes_on_wire", "converged"):
+        deterministic = ["passes", "messages", "bytes_on_wire", "converged"]
+        if row.get("engine") == "serve":
+            # Serving runs on the virtual clock, so even its latency
+            # percentiles are seeded and exact (docs/SERVING.md).
+            deterministic += [
+                "qps_achieved", "latency_p50_s", "latency_p99_s",
+                "cache_hit_rate", "shed_rate",
+            ]
+        for key in deterministic:
             if row.get(key) != old.get(key):
                 mismatches.append(
                     f"{row['name']}: {key} changed "
@@ -684,6 +774,18 @@ def render_results(payload: Dict[str, object]) -> str:
             f"{async_vs_pass['ratio']:.2f}x "
             f"(async {async_vs_pass['async_wall_s']:.3f}s, "
             f"pass {async_vs_pass['pass_wall_s']:.3f}s)"
+        )
+    serve_rows = [
+        row for row in payload.get("scenarios", [])
+        if row.get("engine") == "serve"
+    ]
+    for row in serve_rows:
+        lines.append(
+            f"\n{row['name']}: achieved {row['qps_achieved']:.0f} qps "
+            f"(offered {row['qps']:.0f}), latency p50 "
+            f"{row['latency_p50_s']:.4f}s / p99 {row['latency_p99_s']:.4f}s, "
+            f"cache hit rate {row['cache_hit_rate']:.2f}, "
+            f"shed rate {row['shed_rate']:.2f}"
         )
     return "\n".join(lines)
 

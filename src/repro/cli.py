@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Thirteen commands cover the library's main entry points without
+Fourteen commands cover the library's main entry points without
 writing any Python:
 
 ``pagerank``
@@ -37,6 +37,13 @@ writing any Python:
     invariant checks (mass conservation, no abandoned documents,
     convergence to the reference ranking); ``--report`` streams a
     JSONL incident report — see docs/PROTOCOL.md §15.
+``serve``
+    Run the query-serving layer: a seeded load generator drives the
+    §2.4.3 incremental search path (admission control, result cache,
+    DHT-routed term lookups) over the live deterministic runtime
+    while pagerank converges in the background — see docs/SERVING.md.
+    ``--verify-ranks`` proves serving is read-only (byte-identical
+    ranks vs a no-serving control run).
 ``obs report``
     Run a small fully instrumented simulation (both engines, with
     churn and routed delivery) and dump the metrics snapshot as a
@@ -224,6 +231,14 @@ def build_parser() -> argparse.ArgumentParser:
                       help="emit the snapshot as JSON instead of a table")
     orep.add_argument("--trace", type=str, default=None,
                       help="also write a JSON-lines event trace to this file")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the query-serving layer over a live runtime (docs/SERVING.md)",
+    )
+    from repro.serve.cli import configure_parser as _configure_serve_parser
+
+    _configure_serve_parser(serve)
 
     bench = sub.add_parser(
         "bench",
@@ -609,6 +624,12 @@ def _cmd_soak(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serve.cli import run as run_serve_command
+
+    return run_serve_command(args)
+
+
 def _cmd_obs(args) -> int:
     from contextlib import ExitStack
 
@@ -677,6 +698,15 @@ def _cmd_obs(args) -> int:
         # in the report too (join + leave restores the original ring).
         sim_net.ring.join(args.sim_peers)
         sim_net.ring.leave(args.sim_peers)
+
+        # §3.2 location caching: a miss, a hit, and an invalidation so
+        # every p2p.location_cache.* counter appears in the snapshot.
+        from repro.p2p.cache import LocationCache
+
+        loc_cache = LocationCache(0, sim_net.ring)
+        loc_cache.locate(0)
+        loc_cache.locate(0)
+        loc_cache.invalidate(0)
         snapshot = reg.snapshot()
 
     if args.json:
@@ -724,6 +754,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "faults": _cmd_faults,
         "runtime": _cmd_runtime,
         "soak": _cmd_soak,
+        "serve": _cmd_serve,
         "obs": _cmd_obs,
         "bench": _cmd_bench,
         "lint": _cmd_lint,

@@ -15,8 +15,9 @@ report.  On Freenet-style systems the cache must be disabled
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
+from repro.obs import get_registry
 from repro.p2p.chord import ChordRing
 from repro.p2p.guid import document_guid
 
@@ -35,14 +36,20 @@ class CacheStats:
         Lookups that had to route through the DHT.
     routed_hops:
         Total DHT hops paid across all misses.
+    invalidations:
+        Cached entries explicitly dropped (stale location evicted
+        after e.g. a failed direct send).
     """
 
     hits: int = 0
     misses: int = 0
     routed_hops: int = 0
+    invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache; 0.0 before any
+        lookup has been recorded (never raises / never NaN)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -60,6 +67,15 @@ class LocationCache:
         Optional bound on cached entries (FIFO eviction).  ``None``
         (default) is unbounded — the paper's scheme, whose state is
         bounded by the peer's total out-links anyway.
+    guid_fn:
+        Key → GUID mapping used to resolve misses on the ring.
+        Defaults to :func:`~repro.p2p.guid.document_guid`; the serving
+        layer passes a term-namespace GUID so the same cache serves
+        term-owner discovery (docs/SERVING.md).
+
+    Hit/miss/invalidation counts are mirrored to the process metrics
+    registry (``p2p.location_cache.*``, docs/OBSERVABILITY.md §3) in
+    addition to the per-instance :attr:`stats`.
     """
 
     def __init__(
@@ -68,12 +84,14 @@ class LocationCache:
         ring: ChordRing,
         *,
         capacity: Optional[int] = None,
+        guid_fn: Callable[[int], int] = document_guid,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
         self.owner_peer = owner_peer
         self.ring = ring
         self.capacity = capacity
+        self.guid_fn = guid_fn
         self.stats = CacheStats()
         self._entries: Dict[int, int] = {}
 
@@ -86,17 +104,30 @@ class LocationCache:
         peer = self._entries.get(doc)
         if peer is not None:
             self.stats.hits += 1
+            get_registry().counter(
+                "p2p.location_cache.hits", unit="lookups",
+                description="location-cache lookups answered without DHT traffic",
+            ).inc()
             return peer
-        result = self.ring.route(document_guid(doc), self.owner_peer)
+        result = self.ring.route(self.guid_fn(doc), self.owner_peer)
         self.stats.misses += 1
         self.stats.routed_hops += result.hops
+        get_registry().counter(
+            "p2p.location_cache.misses", unit="lookups",
+            description="location-cache lookups that routed through the DHT",
+        ).inc()
         self._remember(doc, result.owner)
         return result.owner
 
     def invalidate(self, doc: int) -> None:
         """Drop a cached location (e.g. after a failed direct send when
         the target peer departed and its documents moved)."""
-        self._entries.pop(doc, None)
+        if self._entries.pop(doc, None) is not None:
+            self.stats.invalidations += 1
+            get_registry().counter(
+                "p2p.location_cache.invalidations", unit="entries",
+                description="cached locations explicitly dropped as stale",
+            ).inc()
 
     def seed(self, doc: int, peer: int) -> None:
         """Pre-populate an entry without a lookup (used when placement

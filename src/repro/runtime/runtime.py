@@ -712,6 +712,13 @@ class AsyncPeerRuntime:
             self.sanitizer.round_barrier()
         await self.transport.stop()
 
+    @property
+    def clock_now(self) -> float:
+        """Current scheduler clock reading (virtual units in
+        deterministic mode, seconds in free-running mode) — the time
+        base ``round_hook`` observers share with the run."""
+        return float(self._clock.now())
+
     def staleness_probe(self) -> float:
         """Largest relative gap between any published rank and a remote
         consumer's view of it — the bounded-staleness invariant (≤ ε on

@@ -93,6 +93,10 @@ class DistributedIndex:
         self.num_peers = int(num_peers)
         self._ranks = ranks.copy()
         self.index_update_messages = 0
+        # GUID hashing dominates maintenance accounting on bulk
+        # refreshes; both maps are stable for the index's lifetime.
+        self._term_peer_cache: Dict[int, int] = {}
+        self._doc_peer_count: Dict[int, int] = {}
 
         # Invert: term -> docs, one pass over the corpus.
         buckets: Dict[int, List[int]] = {}
@@ -116,7 +120,11 @@ class DistributedIndex:
     # ------------------------------------------------------------------
     def peer_of_term(self, term: int) -> int:
         """Index peer owning ``term`` (GUID-hash partitioning)."""
-        return guid_of(str(term), namespace="term") % self.num_peers
+        peer = self._term_peer_cache.get(term)
+        if peer is None:
+            peer = guid_of(str(term), namespace="term") % self.num_peers
+            self._term_peer_cache[term] = peer
+        return peer
 
     def postings(self, term: int) -> PostingList:
         """The posting list for ``term`` (empty list if unseen)."""
@@ -164,7 +172,44 @@ class DistributedIndex:
         """Total index-update messages to refresh the pagerank column
         for ``changed_docs`` (one message per affected index peer per
         document)."""
-        return sum(len(self.index_peers_of_doc(int(d))) for d in changed_docs)
+        total = 0
+        for d in changed_docs:
+            doc = int(d)
+            count = self._doc_peer_count.get(doc)
+            if count is None:
+                count = len(self.index_peers_of_doc(doc))
+                self._doc_peer_count[doc] = count
+            total += count
+        return total
+
+    def refresh_ranks(self, ranks: np.ndarray) -> int:
+        """Apply a bulk batch of §2.4.2 index-update messages.
+
+        The serving layer periodically republishes the background
+        computation's current rank vector into the index (the paper's
+        "index update messages are sent" moment); this is the bulk
+        equivalent of calling :meth:`update_rank` per changed document,
+        re-sorting each posting list once instead of once per change.
+
+        Returns the number of index-update messages charged (one per
+        affected index peer per changed document), also added to
+        :attr:`index_update_messages`.  A no-change refresh costs
+        nothing and leaves the index untouched.
+        """
+        ranks = np.asarray(ranks, dtype=np.float64)
+        if ranks.shape != self._ranks.shape:
+            raise ValueError(
+                f"ranks must have shape {self._ranks.shape}, got {ranks.shape}"
+            )
+        changed = np.flatnonzero(ranks != self._ranks)
+        if changed.size == 0:
+            return 0
+        self._ranks = ranks.copy()
+        for term, p in self._postings.items():
+            self._postings[term] = self._sorted_posting(term, p.docs)
+        messages = self.maintenance_messages(changed)
+        self.index_update_messages += messages
+        return messages
 
     def sort_docs_by_rank(self, docs: np.ndarray) -> np.ndarray:
         """Sort arbitrary doc ids by descending recorded pagerank."""

@@ -1,0 +1,52 @@
+"""repro.serve — the query-serving layer (paper §2.4, docs/SERVING.md).
+
+The paper's deliverable is a *service*: distributed keyword search
+ranked by pagerank, answered peer-to-peer over the DHT index while the
+chaotic iteration keeps ranks fresh in the background.  This package
+is that serving path:
+
+* :class:`~repro.serve.loadgen.LoadGenerator` — seeded open-/closed-
+  loop Zipf-skewed query load;
+* :class:`~repro.serve.admission.AdmissionController` — bounded
+  per-peer queues with shed + capped-backoff retry;
+* :class:`~repro.serve.router.QueryRouter` — the §2.4.3 top-x%
+  incremental protocol priced on the §4.6 transfer model, with §3.2
+  location-cache reuse for term-owner discovery;
+* :class:`~repro.serve.cache.ResultCache` — TTL + rank-version
+  invalidating result cache bound to the staleness ε;
+* :class:`~repro.serve.service.ServeSession` — one bitwise-
+  reproducible session mounting all of it on a live
+  :class:`~repro.runtime.AsyncPeerRuntime`.
+
+CLI: ``python -m repro serve`` (see docs/API.md); metrics:
+``serve.*`` (docs/OBSERVABILITY.md §13).
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionStats
+from repro.serve.cache import CachedResult, ResultCache, ResultCacheStats
+from repro.serve.loadgen import LoadGenerator, QueryArrival
+from repro.serve.router import QueryRouter, RoutedQuery
+from repro.serve.service import (
+    QueryRecord,
+    ServeConfig,
+    ServeReport,
+    ServeSession,
+    run_serve,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "CachedResult",
+    "ResultCache",
+    "ResultCacheStats",
+    "LoadGenerator",
+    "QueryArrival",
+    "QueryRouter",
+    "RoutedQuery",
+    "QueryRecord",
+    "ServeConfig",
+    "ServeReport",
+    "ServeSession",
+    "run_serve",
+]

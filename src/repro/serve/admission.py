@@ -1,0 +1,140 @@
+"""Admission control for the query-serving layer (docs/SERVING.md).
+
+Peers in the paper's system answer queries *while* running the
+background pagerank computation (§2.4.3), so query capacity is finite:
+each peer holds a bounded queue of in-flight queries.  A query whose
+entry peer is already at capacity is **shed** — refused now, retried
+later with the same capped exponential backoff the reliable-delivery
+layer uses for unacked flights (:class:`repro.faults.ReliabilityConfig`
+semantics, docs/PROTOCOL.md §13): retry ``k`` waits
+``ack_timeout_passes * backoff_factor**(k-1)`` time units, capped at
+``max_retry_delay_passes``; a query still shed after ``max_retries``
+attempts is **dropped** (counted, never silently lost).
+
+The controller is the load-side state machine documented in
+docs/SERVING.md ("Admission / shedding"): admitted → executing →
+done, or shed → (backoff) → re-offered, or shed → dropped once the
+retry budget is spent.  Queue depth can therefore never exceed the
+configured bound — overload turns into measured shed rate, not
+unbounded memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.faults.transport import ReliabilityConfig
+
+__all__ = ["AdmissionController", "AdmissionStats"]
+
+
+@dataclass
+class AdmissionStats:
+    """Counters for the admission controller.
+
+    Attributes
+    ----------
+    admitted:
+        Queries accepted into a peer queue.
+    shed:
+        Admission refusals (each schedules a backoff retry unless the
+        budget is already spent).
+    retries:
+        Re-offers of previously shed queries.
+    dropped:
+        Queries abandoned after exhausting the retry budget.
+    peak_depth:
+        Largest per-peer queue depth ever observed (bounded by the
+        configured capacity by construction).
+    """
+
+    admitted: int = 0
+    shed: int = 0
+    retries: int = 0
+    dropped: int = 0
+    peak_depth: int = 0
+
+    @property
+    def shed_rate(self) -> float:
+        """Shed offers / total offers; 0.0 before any offer."""
+        total = self.admitted + self.shed
+        return self.shed / total if total else 0.0
+
+
+class AdmissionController:
+    """Bounded per-peer query queues with shed-and-retry.
+
+    Parameters
+    ----------
+    queue_capacity:
+        Maximum queries simultaneously admitted per peer (queued +
+        executing); must be >= 1.
+    reliability:
+        Backoff schedule for shed queries; defaults to the protocol's
+        :class:`~repro.faults.ReliabilityConfig` defaults.
+    retry_scale:
+        Virtual-time units per "pass" of the backoff schedule (the
+        reliability layer counts passes; serving counts clock units).
+    """
+
+    def __init__(
+        self,
+        queue_capacity: int,
+        *,
+        reliability: Optional[ReliabilityConfig] = None,
+        retry_scale: float = 1.0,
+    ) -> None:
+        if queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be >= 1, got {queue_capacity}")
+        if retry_scale <= 0:
+            raise ValueError(f"retry_scale must be > 0, got {retry_scale}")
+        self.queue_capacity = int(queue_capacity)
+        self.reliability = reliability if reliability is not None else ReliabilityConfig()
+        self.retry_scale = float(retry_scale)
+        self.stats = AdmissionStats()
+        self._depth: Dict[int, int] = {}
+
+    def depth(self, peer: int) -> int:
+        """Current admitted-query count at ``peer``."""
+        return self._depth.get(peer, 0)
+
+    def try_admit(self, peer: int, *, attempt: int = 1) -> bool:
+        """Offer a query to ``peer``'s queue.
+
+        ``attempt`` is 1 for a fresh arrival, 2.. for re-offers after
+        shedding (counted as retries).  Returns True and takes a queue
+        slot, or False (shed) leaving state untouched.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        if attempt > 1:
+            self.stats.retries += 1
+        d = self._depth.get(peer, 0)
+        if d >= self.queue_capacity:
+            self.stats.shed += 1
+            return False
+        self._depth[peer] = d + 1
+        self.stats.admitted += 1
+        if d + 1 > self.stats.peak_depth:
+            self.stats.peak_depth = d + 1
+        return True
+
+    def release(self, peer: int) -> None:
+        """Return a queue slot when a query finishes at ``peer``."""
+        d = self._depth.get(peer, 0)
+        if d <= 0:
+            raise RuntimeError(f"release without admit on peer {peer}")
+        self._depth[peer] = d - 1
+
+    def retry_at(self, now: float, attempt: int) -> Optional[float]:
+        """When a query shed on ``attempt`` should be re-offered.
+
+        ``None`` once the retry budget is exhausted — the caller must
+        count the query dropped.  The delay is the reliable-transport
+        backoff (capped exponential) scaled to clock units.
+        """
+        if attempt > self.reliability.max_retries:
+            self.stats.dropped += 1
+            return None
+        return now + self.reliability.retry_delay(attempt) * self.retry_scale

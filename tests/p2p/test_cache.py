@@ -68,3 +68,44 @@ class TestLocationCache:
         for doc in [1, 2, 3, 1, 2, 3]:
             cache.locate(doc)
         assert len(cache) == 3
+
+
+class TestCacheStatsObservability:
+    """Satellite checks: §3.2 cache counters through repro.obs."""
+
+    def test_hit_rate_zero_lookups_is_zero(self):
+        from repro.p2p.cache import CacheStats
+
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+
+    def test_invalidations_counted(self, ring):
+        cache = LocationCache(0, ring)
+        cache.locate(5)
+        cache.invalidate(5)
+        assert cache.stats.invalidations == 1
+        # Invalidating an uncached doc is a no-op, not an invalidation.
+        cache.invalidate(999)
+        assert cache.stats.invalidations == 1
+
+    def test_counters_exported_through_obs(self, ring):
+        from repro import obs
+
+        with obs.use_registry() as reg:
+            cache = LocationCache(0, ring)
+            cache.locate(1)   # miss
+            cache.locate(1)   # hit
+            cache.invalidate(1)
+            snapshot = reg.snapshot()
+        assert snapshot["p2p.location_cache.hits"]["value"] == 1
+        assert snapshot["p2p.location_cache.misses"]["value"] == 1
+        assert snapshot["p2p.location_cache.invalidations"]["value"] == 1
+
+    def test_guid_fn_overrides_key_space(self, ring):
+        from repro.p2p.guid import guid_of
+
+        def term_guid(term):
+            return guid_of(str(term), namespace="term")
+
+        cache = LocationCache(0, ring, guid_fn=term_guid)
+        assert cache.locate(7) == ring.owner(term_guid(7))

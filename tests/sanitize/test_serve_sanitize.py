@@ -1,0 +1,75 @@
+"""Serve scenario under the sanitizer (docs/SERVING.md, satellite).
+
+Runs the query-serving session with ``REPRO_SANITIZE=1`` (arming the
+happens-before race detector inside the runtime — a finding raises
+``SanitizeRaceError``, so passing *is* SAN001 absence) across a
+baseline plus K=3 perturbed delivery schedules, and asserts the
+SAN002 property directly: durable runtime state AND the serving
+digest are bitwise-identical under every legal tie-break permutation,
+and identical to a no-serving control — the round hook only ever
+reads runtime state."""
+
+import asyncio
+
+import pytest
+
+from repro.sanitize.explorer import durable_digest, perturbation
+from repro.serve import ServeConfig, ServeSession
+
+K = 3
+
+CONFIG = ServeConfig(
+    docs=100,
+    peers=6,
+    seed=0,
+    qps=25.0,
+    duration=4.0,
+    epsilon=1e-3,
+    num_distinct=10,
+    term_pool_size=25,
+)
+
+
+@pytest.fixture(scope="module")
+def schedule_runs():
+    # Module-scoped: arm the sanitizer via a plain env set (monkeypatch
+    # is function-scoped), restore after.
+    import os
+
+    os.environ["REPRO_SANITIZE"] = "1"
+    try:
+        runs = []
+        for tiebreak in [None] + [perturbation(k) for k in range(K)]:
+            session = ServeSession(CONFIG, tiebreak=tiebreak)
+            report = session.run()  # raises SanitizeRaceError on SAN001
+            runs.append((durable_digest(session.runtime), report))
+        return runs
+    finally:
+        os.environ.pop("REPRO_SANITIZE", None)
+
+
+class TestServeUnderSanitizer:
+    def test_no_races_and_no_schedule_divergence(self, schedule_runs):
+        # Every run completed without SanitizeRaceError (SAN001 clean);
+        # durable runtime state is schedule-independent (SAN002 clean).
+        baseline_digest, baseline_report = schedule_runs[0]
+        for digest, _ in schedule_runs[1:]:
+            assert digest == baseline_digest
+
+    def test_serving_digest_schedule_independent(self, schedule_runs):
+        _, baseline_report = schedule_runs[0]
+        for _, report in schedule_runs[1:]:
+            assert report.digest == baseline_report.digest
+            assert report.offered == baseline_report.offered
+            assert report.completed == baseline_report.completed
+
+    def test_read_only_versus_no_serving_control(self, schedule_runs):
+        control = ServeSession(CONFIG)
+        asyncio.run(control.runtime.run())  # bare runtime, no serving
+        baseline_digest, _ = schedule_runs[0]
+        assert durable_digest(control.runtime) == baseline_digest
+
+    def test_sanitizer_actually_armed(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        session = ServeSession(CONFIG)
+        assert session.runtime.sanitizer is not None

@@ -1,0 +1,110 @@
+"""Edge cases of §2.4.3 incremental top-x% search.
+
+Satellite coverage: x=100% degenerates to the full-forward baseline,
+single-term queries, terms absent from the index, the empty index, and
+the subset property (top-x% results never contain a document the full
+forward would not have returned)."""
+
+import numpy as np
+import pytest
+
+from repro.search.baseline import baseline_search
+from repro.search.corpus import CorpusConfig, synthesize_corpus
+from repro.search.incremental import incremental_search
+from repro.search.index import DistributedIndex
+from repro.search.query import Query, generate_queries
+
+
+def _small_corpus(seed=0, docs=150):
+    config = CorpusConfig(
+        num_documents=docs,
+        vocab_size=120,
+        num_stopwords=10,
+        raw_vocab_size=600,
+        mean_terms_per_doc=40.0,
+    )
+    return synthesize_corpus(config, seed=seed, with_links=False)
+
+
+@pytest.fixture(scope="module")
+def index():
+    corpus = _small_corpus()
+    rng = np.random.default_rng(1)
+    ranks = rng.random(corpus.num_documents) + 0.01
+    return DistributedIndex(corpus, ranks, num_peers=8)
+
+
+class TestIncrementalEdgeCases:
+    def test_full_fraction_matches_baseline(self, index):
+        corpus = index.corpus
+        for query in generate_queries(corpus, num_queries=10,
+                                      terms_per_query=2, term_pool_size=40,
+                                      seed=2):
+            full = incremental_search(index, query, fraction=1.0)
+            base = baseline_search(index, query)
+            np.testing.assert_array_equal(full.hits, base.hits)
+
+    def test_single_term_query(self, index):
+        term = int(index.corpus.top_terms(1)[0])
+        outcome = incremental_search(index, Query(terms=(term,)), fraction=0.1)
+        postings = index.postings(term)
+        # One term: no forwarding hop, the whole (rank-sorted) posting
+        # list goes straight back to the user.
+        np.testing.assert_array_equal(outcome.hits, postings.docs)
+        assert outcome.hop_sizes == (len(postings),)
+        assert outcome.traffic_doc_ids == len(postings)
+
+    def test_absent_term_empties_result(self, index):
+        present = int(index.corpus.top_terms(1)[0])
+        absent = index.corpus.vocab_size + 1000  # never indexed
+        outcome = incremental_search(
+            index, Query(terms=(present, absent)), fraction=0.1
+        )
+        assert outcome.hits.size == 0
+        assert outcome.hop_sizes[-1] == 0
+
+    def test_absent_first_term_short_circuits(self, index):
+        present = int(index.corpus.top_terms(1)[0])
+        absent = index.corpus.vocab_size + 1000
+        outcome = incremental_search(
+            index, Query(terms=(absent, present)), fraction=0.1
+        )
+        assert outcome.hits.size == 0
+
+    def test_empty_index(self):
+        corpus = _small_corpus(seed=3, docs=20)
+        empty = DistributedIndex(
+            corpus.__class__(
+                doc_terms=[np.empty(0, dtype=np.int64) for _ in range(5)],
+                vocab_size=corpus.vocab_size,
+                document_frequency=np.zeros(corpus.vocab_size, dtype=np.int64),
+            ),
+            np.ones(5),
+            num_peers=4,
+        )
+        outcome = incremental_search(empty, Query(terms=(1, 2)), fraction=0.5)
+        assert outcome.hits.size == 0
+        assert outcome.traffic_doc_ids == 0
+
+    def test_topx_results_subset_of_full_forward(self, index):
+        # Property: forwarding less can only lose documents, never
+        # invent them — every top-x% hit appears in the full forward.
+        corpus = index.corpus
+        queries = generate_queries(corpus, num_queries=15, terms_per_query=3,
+                                   term_pool_size=40, seed=4)
+        for query in queries:
+            full = set(
+                incremental_search(index, query, fraction=1.0).hits.tolist()
+            )
+            for fraction in (0.05, 0.1, 0.2, 0.5):
+                partial = incremental_search(index, query, fraction=fraction)
+                assert set(partial.hits.tolist()) <= full
+
+    def test_topx_traffic_never_exceeds_full_forward(self, index):
+        corpus = index.corpus
+        for query in generate_queries(corpus, num_queries=10,
+                                      terms_per_query=3, term_pool_size=40,
+                                      seed=5):
+            full = incremental_search(index, query, fraction=1.0)
+            partial = incremental_search(index, query, fraction=0.1)
+            assert partial.traffic_doc_ids <= full.traffic_doc_ids

@@ -1,0 +1,72 @@
+"""Tests of admission control + shed/retry (docs/SERVING.md)."""
+
+import pytest
+
+from repro.faults.transport import ReliabilityConfig
+from repro.serve.admission import AdmissionController
+
+
+class TestAdmission:
+    def test_admit_until_capacity_then_shed(self):
+        ctl = AdmissionController(2)
+        assert ctl.try_admit(0)
+        assert ctl.try_admit(0)
+        assert not ctl.try_admit(0)
+        assert ctl.stats.admitted == 2
+        assert ctl.stats.shed == 1
+        assert ctl.depth(0) == 2
+        assert ctl.stats.peak_depth == 2
+
+    def test_release_frees_slot(self):
+        ctl = AdmissionController(1)
+        assert ctl.try_admit(3)
+        assert not ctl.try_admit(3)
+        ctl.release(3)
+        assert ctl.try_admit(3)
+
+    def test_release_without_admit_raises(self):
+        ctl = AdmissionController(1)
+        with pytest.raises(RuntimeError):
+            ctl.release(0)
+
+    def test_queues_independent_per_peer(self):
+        ctl = AdmissionController(1)
+        assert ctl.try_admit(0)
+        assert ctl.try_admit(1)
+        assert not ctl.try_admit(0)
+
+    def test_retry_backoff_matches_reliability_config(self):
+        config = ReliabilityConfig()
+        ctl = AdmissionController(1, retry_scale=0.5)
+        for attempt in (1, 2, 3):
+            at = ctl.retry_at(10.0, attempt)
+            assert at == 10.0 + config.retry_delay(attempt) * 0.5
+
+    def test_retry_budget_exhaustion_drops(self):
+        config = ReliabilityConfig()
+        ctl = AdmissionController(1)
+        assert ctl.retry_at(0.0, config.max_retries) is not None
+        assert ctl.retry_at(0.0, config.max_retries + 1) is None
+        assert ctl.stats.dropped == 1
+
+    def test_retries_counted_on_reoffer(self):
+        ctl = AdmissionController(1)
+        ctl.try_admit(0, attempt=1)
+        ctl.try_admit(0, attempt=2)
+        assert ctl.stats.retries == 1
+
+    def test_shed_rate(self):
+        ctl = AdmissionController(1)
+        assert ctl.stats.shed_rate == 0.0
+        ctl.try_admit(0)
+        ctl.try_admit(0)
+        assert ctl.stats.shed_rate == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(1, retry_scale=0.0)
+        ctl = AdmissionController(1)
+        with pytest.raises(ValueError):
+            ctl.try_admit(0, attempt=0)

@@ -1,0 +1,75 @@
+"""Tests of DHT query routing + pricing (docs/SERVING.md, §2.4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.p2p.chord import ChordRing
+from repro.p2p.guid import guid_of
+from repro.search.corpus import CorpusConfig, synthesize_corpus
+from repro.search.incremental import incremental_search
+from repro.search.index import DistributedIndex
+from repro.search.query import generate_queries
+from repro.serve.router import QueryRouter
+from repro.simulation.timing import RATE_200KBPS, TransferModel
+
+
+@pytest.fixture(scope="module")
+def setup():
+    config = CorpusConfig(
+        num_documents=120, vocab_size=100, num_stopwords=10,
+        raw_vocab_size=500, mean_terms_per_doc=30.0,
+    )
+    corpus = synthesize_corpus(config, seed=0, with_links=False)
+    rng = np.random.default_rng(1)
+    ranks = rng.random(corpus.num_documents) + 0.01
+    index = DistributedIndex(corpus, ranks, num_peers=8)
+    ring = ChordRing(list(range(8)))
+    router = QueryRouter(
+        index, ring, TransferModel(rate_bytes_per_s=RATE_200KBPS),
+        fraction=0.2, service_time=0.001,
+    )
+    queries = generate_queries(corpus, num_queries=6, terms_per_query=2,
+                               term_pool_size=30, seed=2)
+    return router, index, ring, queries
+
+
+class TestQueryRouter:
+    def test_hits_match_incremental_search(self, setup):
+        router, index, _, queries = setup
+        for q in queries:
+            routed = router.route(q, portal_peer=0)
+            expected = incremental_search(index, q, fraction=0.2)
+            assert routed.hits == tuple(int(d) for d in expected.hits)
+            assert routed.traffic_doc_ids == expected.traffic_doc_ids
+            assert routed.hop_sizes == expected.hop_sizes
+
+    def test_peers_are_ring_owners_of_term_guids(self, setup):
+        router, _, ring, queries = setup
+        q = queries[0]
+        routed = router.route(q, portal_peer=0)
+        for term, peer in zip(routed.terms, routed.peers):
+            assert peer == ring.owner(guid_of(str(term), namespace="term"))
+
+    def test_location_cache_reuse_drops_hops(self, setup):
+        router, _, _, queries = setup
+        q = queries[1]
+        first = router.route(q, portal_peer=3)
+        second = router.route(q, portal_peer=3)
+        # Same portal, same terms: every lookup now hits the cache.
+        assert second.dht_hops == 0
+        assert second.latency <= first.latency
+        assert second.hits == first.hits
+
+    def test_latency_positive_and_deterministic(self, setup):
+        router, _, _, queries = setup
+        for q in queries:
+            a = router.route(q, portal_peer=1)
+            b = router.route(q, portal_peer=1)
+            assert a.latency > 0
+            assert a.latency >= b.latency  # warm cache can only help
+            assert b.bytes_on_wire <= a.bytes_on_wire
+
+    def test_validation(self, setup):
+        router, index, ring, _ = setup
+        with pytest.raises(ValueError):
+            QueryRouter(index, ring, router.model, service_time=-1.0)
